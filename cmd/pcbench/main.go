@@ -1,0 +1,53 @@
+// Command pcbench regenerates the experiment tables of EXPERIMENTS.md: for
+// every theorem of the paper (and the conceptual figures), it measures page
+// transfers and storage on the simulated disk and prints them beside the
+// predicted terms.
+//
+// Usage:
+//
+//	pcbench [-exp e1|e2|...|f4|all] [-page 4096] [-seed 1] [-small] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathcache/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (e1..e8, f2, f4, all)")
+	page := flag.Int("page", 4096, "simulated disk page size in bytes")
+	seed := flag.Int64("seed", 1, "workload seed")
+	small := flag.Bool("small", false, "reduced sizes (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners() {
+			fmt.Printf("%-4s %s\n", r.Name, r.Desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{PageSize: *page, Seed: *seed, Small: *small}
+	if *exp == "all" {
+		if err := bench.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range bench.Runners() {
+		if r.Name == *exp {
+			if err := r.Run(os.Stdout, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "pcbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q (use -list)\n", *exp)
+	os.Exit(1)
+}

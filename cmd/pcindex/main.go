@@ -1,0 +1,429 @@
+// Command pcindex builds, inspects and queries persistent pathcache index
+// files.
+//
+// Build an index from CSV (points: x,y,id — intervals: lo,hi,id):
+//
+//	pcindex build -type twosided  -scheme segmented -in points.csv   -out pts.pc
+//	pcindex build -type threeside -in points.csv    -out pts3.pc
+//	pcindex build -type stabbing  -in intervals.csv -out ivs.pc
+//	pcindex build -type segment   -in intervals.csv -out seg.pc
+//	pcindex build -type interval  -in intervals.csv -out itv.pc
+//
+// Query it (reopens without rebuilding):
+//
+//	pcindex query -in pts.pc  -q "100 200"        # x >= 100, y >= 200
+//	pcindex query -in pts3.pc -q "100 500 200"    # 100 <= x <= 500, y >= 200
+//	pcindex query -in ivs.pc  -q "150"            # intervals containing 150
+//
+// Inspect:
+//
+//	pcindex info -in pts.pc
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pathcache"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcindex:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pcindex build|query|info [flags] (see -h per subcommand)")
+	os.Exit(2)
+}
+
+// kindOf reads the index kind byte from a file's metadata without type
+// assumptions, by trying each opener.
+type opened struct {
+	kind  string
+	two   *pathcache.TwoSidedIndex
+	three *pathcache.ThreeSidedIndex
+	stab  *pathcache.StabbingIndex
+	seg   *pathcache.SegmentIndex
+	itv   *pathcache.IntervalIndex
+	win   *pathcache.WindowIndex
+}
+
+func openAny(path string) (*opened, error) {
+	if ix, err := pathcache.OpenTwoSidedIndex(path); err == nil {
+		return &opened{kind: "twosided", two: ix}, nil
+	}
+	if ix, err := pathcache.OpenThreeSidedIndex(path); err == nil {
+		return &opened{kind: "threeside", three: ix}, nil
+	}
+	if ix, err := pathcache.OpenStabbingIndex(path); err == nil {
+		return &opened{kind: "stabbing", stab: ix}, nil
+	}
+	if ix, err := pathcache.OpenSegmentIndex(path); err == nil {
+		return &opened{kind: "segment", seg: ix}, nil
+	}
+	if ix, err := pathcache.OpenIntervalIndex(path); err == nil {
+		return &opened{kind: "interval", itv: ix}, nil
+	}
+	if ix, err := pathcache.OpenWindowIndex(path); err == nil {
+		return &opened{kind: "window", win: ix}, nil
+	}
+	return nil, fmt.Errorf("%s: not a reopenable pathcache index", path)
+}
+
+func (o *opened) close() {
+	switch o.kind {
+	case "twosided":
+		o.two.Close()
+	case "threeside":
+		o.three.Close()
+	case "stabbing":
+		o.stab.Close()
+	case "segment":
+		o.seg.Close()
+	case "interval":
+		o.itv.Close()
+	case "window":
+		o.win.Close()
+	}
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	typ := fs.String("type", "twosided", "twosided|threeside|stabbing|segment|interval|window")
+	scheme := fs.String("scheme", "segmented", "iko|basic|segmented (flat 2-sided schemes persist)")
+	in := fs.String("in", "", "input CSV (points: x,y,id — intervals: lo,hi,id)")
+	out := fs.String("out", "", "output index file")
+	page := fs.Int("page", pathcache.DefaultPageSize, "page size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("build requires -in and -out")
+	}
+	opts := &pathcache.Options{PageSize: *page, Path: *out}
+	var sc pathcache.Scheme
+	switch *scheme {
+	case "iko":
+		sc = pathcache.SchemeIKO
+	case "basic":
+		sc = pathcache.SchemeBasic
+	case "segmented":
+		sc = pathcache.SchemeSegmented
+	default:
+		return fmt.Errorf("scheme %q does not persist (use iko, basic or segmented)", *scheme)
+	}
+
+	switch *typ {
+	case "window":
+		pts, err := readPoints(*in)
+		if err != nil {
+			return err
+		}
+		ix, err := pathcache.NewWindowIndex(pts, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built %s: %d points, %d pages (4-sided window)\n", *out, ix.Len(), ix.Pages())
+		return ix.Close()
+	case "twosided", "threeside":
+		pts, err := readPoints(*in)
+		if err != nil {
+			return err
+		}
+		if *typ == "twosided" {
+			ix, err := pathcache.NewTwoSidedIndex(pts, sc, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("built %s: %d points, %d pages (%s scheme)\n", *out, ix.Len(), ix.Pages(), sc)
+			return ix.Close()
+		}
+		ix, err := pathcache.NewThreeSidedIndex(pts, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built %s: %d points, %d pages (3-sided)\n", *out, ix.Len(), ix.Pages())
+		return ix.Close()
+	case "stabbing", "segment", "interval":
+		ivs, err := readIntervals(*in)
+		if err != nil {
+			return err
+		}
+		switch *typ {
+		case "stabbing":
+			ix, err := pathcache.NewStabbingIndex(ivs, sc, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("built %s: %d intervals, %d pages (stabbing/%s)\n", *out, ix.Len(), ix.Pages(), sc)
+			return ix.Close()
+		case "segment":
+			ix, err := pathcache.NewSegmentIndex(ivs, true, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("built %s: %d intervals, %d pages (segment tree)\n", *out, ix.Len(), ix.Pages())
+			return ix.Close()
+		default:
+			ix, err := pathcache.NewIntervalIndex(ivs, true, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("built %s: %d intervals, %d pages (interval tree)\n", *out, ix.Len(), ix.Pages())
+			return ix.Close()
+		}
+	default:
+		return fmt.Errorf("unknown type %q", *typ)
+	}
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "index file")
+	q := fs.String("q", "", "query: 'a b' (2-sided), 'a1 a2 b' (3-sided), 'q' (stabbing)")
+	limit := fs.Int("limit", 20, "max rows to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *q == "" {
+		return fmt.Errorf("query requires -in and -q")
+	}
+	nums, err := parseInts(*q)
+	if err != nil {
+		return err
+	}
+	o, err := openAny(*in)
+	if err != nil {
+		return err
+	}
+	defer o.close()
+
+	printPts := func(pts []pathcache.Point, reads int64) {
+		fmt.Printf("%d results in %d page reads\n", len(pts), reads)
+		for i, p := range pts {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... (%d more)\n", len(pts)-i)
+				break
+			}
+			fmt.Printf("x=%d y=%d id=%d\n", p.X, p.Y, p.ID)
+		}
+	}
+	printIvs := func(ivs []pathcache.Interval, reads int64) {
+		fmt.Printf("%d results in %d page reads\n", len(ivs), reads)
+		for i, iv := range ivs {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... (%d more)\n", len(ivs)-i)
+				break
+			}
+			fmt.Printf("lo=%d hi=%d id=%d\n", iv.Lo, iv.Hi, iv.ID)
+		}
+	}
+
+	switch o.kind {
+	case "twosided":
+		if len(nums) != 2 {
+			return fmt.Errorf("2-sided query needs 'a b'")
+		}
+		o.two.ResetStats()
+		res, err := o.two.Query(nums[0], nums[1])
+		if err != nil {
+			return err
+		}
+		printPts(res, o.two.Stats().Reads)
+	case "threeside":
+		if len(nums) != 3 {
+			return fmt.Errorf("3-sided query needs 'a1 a2 b'")
+		}
+		o.three.ResetStats()
+		res, err := o.three.Query(nums[0], nums[1], nums[2])
+		if err != nil {
+			return err
+		}
+		printPts(res, o.three.Stats().Reads)
+	case "stabbing":
+		if len(nums) != 1 {
+			return fmt.Errorf("stabbing query needs 'q'")
+		}
+		o.stab.ResetStats()
+		res, err := o.stab.Stab(nums[0])
+		if err != nil {
+			return err
+		}
+		printIvs(res, o.stab.Stats().Reads)
+	case "segment":
+		if len(nums) != 1 {
+			return fmt.Errorf("stabbing query needs 'q'")
+		}
+		o.seg.ResetStats()
+		res, err := o.seg.Stab(nums[0])
+		if err != nil {
+			return err
+		}
+		printIvs(res, o.seg.Stats().Reads)
+	case "interval":
+		if len(nums) != 1 {
+			return fmt.Errorf("stabbing query needs 'q'")
+		}
+		o.itv.ResetStats()
+		res, err := o.itv.Stab(nums[0])
+		if err != nil {
+			return err
+		}
+		printIvs(res, o.itv.Stats().Reads)
+	case "window":
+		if len(nums) != 4 {
+			return fmt.Errorf("window query needs 'x1 x2 y1 y2'")
+		}
+		o.win.ResetStats()
+		res, err := o.win.Query(nums[0], nums[1], nums[2], nums[3])
+		if err != nil {
+			return err
+		}
+		printPts(res, o.win.Stats().Reads)
+	}
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "index file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("info requires -in")
+	}
+	o, err := openAny(*in)
+	if err != nil {
+		return err
+	}
+	defer o.close()
+	var n, pages int
+	switch o.kind {
+	case "twosided":
+		n, pages = o.two.Len(), o.two.Pages()
+		fmt.Printf("kind: 2-sided (%s scheme)\n", o.two.Scheme())
+	case "threeside":
+		n, pages = o.three.Len(), o.three.Pages()
+		fmt.Println("kind: 3-sided")
+	case "stabbing":
+		n, pages = o.stab.Len(), o.stab.Pages()
+		fmt.Println("kind: stabbing")
+	case "segment":
+		n, pages = o.seg.Len(), o.seg.Pages()
+		fmt.Println("kind: segment tree")
+	case "interval":
+		n, pages = o.itv.Len(), o.itv.Pages()
+		fmt.Println("kind: interval tree")
+	case "window":
+		n, pages = o.win.Len(), o.win.Pages()
+		fmt.Println("kind: 4-sided window")
+	}
+	fmt.Printf("records: %d\npages: %d\n", n, pages)
+	return nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	fields := strings.Fields(s)
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// readPoints parses x,y,id CSV lines (id optional; defaults to line number).
+func readPoints(path string) ([]pathcache.Point, error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]pathcache.Point, len(rows))
+	for i, r := range rows {
+		if len(r) < 2 {
+			return nil, fmt.Errorf("%s line %d: need x,y[,id]", path, i+1)
+		}
+		pts[i] = pathcache.Point{X: r[0], Y: r[1], ID: uint64(i + 1)}
+		if len(r) >= 3 {
+			pts[i].ID = uint64(r[2])
+		}
+	}
+	return pts, nil
+}
+
+// readIntervals parses lo,hi,id CSV lines (id optional).
+func readIntervals(path string) ([]pathcache.Interval, error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	ivs := make([]pathcache.Interval, len(rows))
+	for i, r := range rows {
+		if len(r) < 2 {
+			return nil, fmt.Errorf("%s line %d: need lo,hi[,id]", path, i+1)
+		}
+		ivs[i] = pathcache.Interval{Lo: r[0], Hi: r[1], ID: uint64(i + 1)}
+		if len(r) >= 3 {
+			ivs[i].ID = uint64(r[2])
+		}
+	}
+	return ivs, nil
+}
+
+func readCSV(path string) ([][]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		row := make([]int64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d: bad number %q", path, line, p)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles pcindex once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pcindex")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pcindex %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestBuildQueryInfoEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the tool")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+
+	// Points CSV: the three points with x>=10 and y>=10 are ids 2,3.
+	ptsCSV := filepath.Join(dir, "pts.csv")
+	if err := os.WriteFile(ptsCSV, []byte("1,1,1\n10,20,2\n30,40,3\n50,5,4\n# comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ivsCSV := filepath.Join(dir, "ivs.csv")
+	if err := os.WriteFile(ivsCSV, []byte("0,100,1\n50,150,2\n200,300,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	twoPC := filepath.Join(dir, "two.pc")
+	out := run(t, bin, "build", "-type", "twosided", "-in", ptsCSV, "-out", twoPC, "-page", "512")
+	if !strings.Contains(out, "4 points") {
+		t.Fatalf("build output: %s", out)
+	}
+	out = run(t, bin, "query", "-in", twoPC, "-q", "10 10")
+	if !strings.Contains(out, "2 results") {
+		t.Fatalf("query output: %s", out)
+	}
+	out = run(t, bin, "info", "-in", twoPC)
+	if !strings.Contains(out, "records: 4") || !strings.Contains(out, "2-sided") {
+		t.Fatalf("info output: %s", out)
+	}
+
+	threePC := filepath.Join(dir, "three.pc")
+	run(t, bin, "build", "-type", "threeside", "-in", ptsCSV, "-out", threePC, "-page", "512")
+	out = run(t, bin, "query", "-in", threePC, "-q", "5 40 10")
+	if !strings.Contains(out, "2 results") {
+		t.Fatalf("3-sided query output: %s", out)
+	}
+
+	for _, typ := range []string{"stabbing", "segment", "interval"} {
+		pc := filepath.Join(dir, typ+".pc")
+		run(t, bin, "build", "-type", typ, "-in", ivsCSV, "-out", pc, "-page", "512")
+		out = run(t, bin, "query", "-in", pc, "-q", "75")
+		if !strings.Contains(out, "2 results") {
+			t.Fatalf("%s query output: %s", typ, out)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the tool")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("1,notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "build", "-type", "twosided", "-in", bad, "-out", filepath.Join(dir, "x.pc")).CombinedOutput(); err == nil {
+		t.Fatalf("bad CSV accepted: %s", out)
+	}
+	if out, err := exec.Command(bin, "query", "-in", filepath.Join(dir, "missing.pc"), "-q", "1 2").CombinedOutput(); err == nil {
+		t.Fatalf("missing index accepted: %s", out)
+	}
+	if out, err := exec.Command(bin, "nonsense").CombinedOutput(); err == nil {
+		t.Fatalf("unknown subcommand accepted: %s", out)
+	}
+}
+
+func TestWindowTypeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the tool")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	ptsCSV := filepath.Join(dir, "pts.csv")
+	if err := os.WriteFile(ptsCSV, []byte("1,1,1\n10,20,2\n30,40,3\n50,5,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pc := filepath.Join(dir, "win.pc")
+	out := run(t, bin, "build", "-type", "window", "-in", ptsCSV, "-out", pc, "-page", "512")
+	if !strings.Contains(out, "4-sided window") {
+		t.Fatalf("build output: %s", out)
+	}
+	out = run(t, bin, "query", "-in", pc, "-q", "5 40 10 45")
+	if !strings.Contains(out, "2 results") {
+		t.Fatalf("window query output: %s", out)
+	}
+	out = run(t, bin, "info", "-in", pc)
+	if !strings.Contains(out, "4-sided window") {
+		t.Fatalf("info output: %s", out)
+	}
+}

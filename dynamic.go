@@ -1,0 +1,78 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/dynpst"
+)
+
+// DynamicIndex is the fully dynamic 2-sided index of Theorem 5.1:
+// O(log_B n + t/B) queries, amortized O(log_B n) insertions and deletions.
+type DynamicIndex struct {
+	be  *backend
+	idx *dynpst.Tree
+}
+
+// NewDynamicIndex creates an empty dynamic 2-sided index.
+func NewDynamicIndex(opts *Options) (*DynamicIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := dynpst.New(be.pager)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &DynamicIndex{be: be, idx: idx}, nil
+}
+
+// BulkLoad replaces the index's entire contents with pts — one bottom-up
+// build instead of n buffered updates.
+func (ix *DynamicIndex) BulkLoad(pts []Point) error {
+	if err := ix.idx.BulkLoad(toRecPoints(pts)); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Insert adds a point. Points are identified by their full (X, Y, ID)
+// triple; inserting the same triple twice and deleting it once leaves one
+// copy.
+func (ix *DynamicIndex) Insert(p Point) error {
+	if err := ix.idx.Insert(toRec(p)); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Delete removes a point previously inserted with the same (X, Y, ID).
+// Deleting an absent point is a no-op by the time its buffered operation
+// drains, but still decrements Len; callers should only delete live points.
+func (ix *DynamicIndex) Delete(p Point) error {
+	if err := ix.idx.Delete(toRec(p)); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Query reports every live point with X >= a and Y >= b, merging any
+// buffered updates.
+func (ix *DynamicIndex) Query(a, b int64) ([]Point, error) {
+	pts, _, err := ix.idx.Query(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), nil
+}
+
+// Len reports the number of live points.
+func (ix *DynamicIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *DynamicIndex) Pages() int { return ix.be.store.NumPages() }
+
+// Stats reports the cumulative I/O counters of the underlying store.
+func (ix *DynamicIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *DynamicIndex) ResetStats() { ix.be.resetStats() }

@@ -1,0 +1,78 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/dyn3side"
+)
+
+// DynamicThreeSidedIndex is the dynamic 3-sided functionality of
+// Theorem 5.2: optimal O(log_B n + t/B) queries with amortized updates
+// inside the theorem's O(log_B n·log² B) budget (see DESIGN.md §4 for the
+// buffered-rebuild rendition this uses).
+type DynamicThreeSidedIndex struct {
+	be  *backend
+	idx *dyn3side.Tree
+}
+
+// NewDynamicThreeSidedIndex creates an empty dynamic 3-sided index.
+func NewDynamicThreeSidedIndex(opts *Options) (*DynamicThreeSidedIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := dyn3side.New(be.pager)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &DynamicThreeSidedIndex{be: be, idx: idx}, nil
+}
+
+// BulkLoad replaces the index's entire contents with pts — one build
+// instead of n buffered updates.
+func (ix *DynamicThreeSidedIndex) BulkLoad(pts []Point) error {
+	if err := ix.idx.BulkLoad(toRecPoints(pts)); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Insert adds a point (identified by its full X, Y, ID triple).
+func (ix *DynamicThreeSidedIndex) Insert(p Point) error {
+	if err := ix.idx.Insert(toRec(p)); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Delete removes a point previously inserted with the same (X, Y, ID).
+func (ix *DynamicThreeSidedIndex) Delete(p Point) error {
+	if err := ix.idx.Delete(toRec(p)); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Query reports every live point with a1 <= X <= a2 and Y >= b.
+func (ix *DynamicThreeSidedIndex) Query(a1, a2, b int64) ([]Point, error) {
+	pts, _, err := ix.idx.Query(a1, a2, b)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), nil
+}
+
+// Len reports the number of live points.
+func (ix *DynamicThreeSidedIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *DynamicThreeSidedIndex) Pages() int { return ix.be.store.NumPages() }
+
+// Stats reports the cumulative I/O counters.
+func (ix *DynamicThreeSidedIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *DynamicThreeSidedIndex) ResetStats() { ix.be.resetStats() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *DynamicThreeSidedIndex) Close() error { return ix.be.close() }

@@ -1,0 +1,39 @@
+package pathcache_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Every example must run to completion; several verify themselves against
+// brute force and exit non-zero on mismatch.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	examples := []struct {
+		dir  string
+		want string // substring the output must contain
+	}{
+		{"quickstart", "indexed 200000 points"},
+		{"temporal", "who was employed"},
+		{"classindex", "containment check"},
+		{"decomposition", "external index agrees"},
+		{"intervaljoin", "brute-force check"},
+		{"persistence", "reopened results match"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+ex.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex.dir, err, out)
+			}
+			if !strings.Contains(string(out), ex.want) {
+				t.Fatalf("example %s output missing %q:\n%s", ex.dir, ex.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module pathcache
+
+go 1.22

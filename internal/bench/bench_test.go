@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every runner must produce a non-empty table without error in Small mode.
+func TestAllRunnersSmall(t *testing.T) {
+	cfg := Config{Small: true, PageSize: 512, Seed: 3}
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(&buf, cfg); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s: suspiciously short output: %q", r.Name, out)
+			}
+			if !strings.Contains(out, "\n") {
+				t.Fatalf("%s: no table rows", r.Name)
+			}
+		})
+	}
+}
+
+func TestRunAllSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Config{Small: true, PageSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5/F3:", "E6:", "E7:", "E8:", "F2:", "F4:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestRunnersHaveUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Runners() {
+		if seen[r.Name] {
+			t.Fatalf("duplicate runner %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Desc == "" || r.Run == nil {
+			t.Fatalf("runner %q incomplete", r.Name)
+		}
+	}
+}

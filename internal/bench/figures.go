@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"pathcache/internal/btree"
+	"pathcache/internal/disk"
+	"pathcache/internal/pstcore"
+	"pathcache/internal/record"
+	"pathcache/internal/skeletal"
+	"pathcache/internal/workload"
+)
+
+// NewBTreeOnX indexes the points' x-coordinates in a B+-tree (value = ID).
+func NewBTreeOnX(s *disk.Store, pts []record.Point) (*btree.Tree, error) {
+	bt, err := btree.New(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if err := bt.Insert(p.X, p.ID); err != nil {
+			return nil, err
+		}
+	}
+	return bt, nil
+}
+
+// RunF2 reproduces Figure 2: the skeletal B-tree maps height-log B subtrees
+// to pages, so a root-to-leaf descent reads O(log_B n) pages while the
+// binary path has O(log n) nodes.
+func RunF2(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "F2: skeletal B-tree descent — pages read vs binary path length (Figure 2)\n\n")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "n\tbinary height\tsubtree/page\tavg descent reads\tpredict ceil(h/subH)")
+	for _, n := range cfg.pointNs() {
+		s := disk.MustStore(cfg.pageSize())
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i) * 3
+		}
+		root := buildBalanced(keys, nil)
+		tr, err := skeletal.Build(s, root, 8)
+		if err != nil {
+			return err
+		}
+		probes := workload.StabQueries(cfg.queries(), int64(n)*3, cfg.seed())
+		var reads int64
+		for _, k := range probes {
+			s.ResetStats()
+			_, err := tr.Descend(func(nd skeletal.Node) skeletal.Dir {
+				if nd.Key == k {
+					return skeletal.Stop
+				}
+				if k < nd.Key {
+					return skeletal.Left
+				}
+				return skeletal.Right
+			})
+			if err != nil {
+				return err
+			}
+			reads += s.Stats().Reads
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%d\n",
+			n, tr.Height(), tr.SubHeight(), float64(reads)/float64(len(probes)),
+			tr.Height()/tr.SubHeight()+1)
+	}
+	return tw.Flush()
+}
+
+func buildBalanced(keys []int64, payload []byte) *skeletal.BuildNode {
+	if len(keys) == 0 {
+		return nil
+	}
+	mid := len(keys) / 2
+	return &skeletal.BuildNode{
+		Key:     keys[mid],
+		Payload: make([]byte, 8),
+		Left:    buildBalanced(keys[:mid], payload),
+		Right:   buildBalanced(keys[mid+1:], payload),
+	}
+}
+
+// RunF4 reproduces Figure 4: the hierarchical plane decomposition of the
+// external PST with B=4 and the classification of the blocks a 2-sided
+// query touches — corner, ancestors, right siblings, and descendants that
+// pay for themselves.
+func RunF4(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "F4: block classification for 2-sided queries on the B=4 decomposition (Figure 4)\n\n")
+	const b = 4
+	n := 64
+	pts := workload.UniformPoints(n, 100, cfg.seed())
+	sorted := append([]record.Point(nil), pts...)
+	pstcore.SortAsc(sorted)
+	root := pstcore.Build(sorted, b)
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "query (a,b)\tt\tcorner depth\tancestors\tsiblings\tdescendants inside\tdescendants cut")
+	for _, q := range []struct{ a, b int64 }{{10, 10}, {30, 40}, {50, 20}, {70, 70}, {90, 5}} {
+		var anc, sib, descIn, descCut, t int
+		cornerDepth := -1
+
+		// Corner path.
+		node := root
+		depth := 0
+		var path []*pstcore.MemNode
+		for node != nil {
+			path = append(path, node)
+			for _, p := range node.Pts {
+				if p.X >= q.a && p.Y >= q.b {
+					t++
+				}
+			}
+			if node.MinY < q.b {
+				break
+			}
+			if q.a <= node.Split {
+				node = node.Left
+			} else {
+				node = node.Right
+			}
+			depth++
+		}
+		cornerDepth = len(path) - 1
+		anc = cornerDepth
+
+		var explore func(m *pstcore.MemNode)
+		explore = func(m *pstcore.MemNode) {
+			if m == nil {
+				return
+			}
+			inside := m.MinY >= q.b
+			if inside {
+				descIn++
+			} else {
+				descCut++
+			}
+			for _, p := range m.Pts {
+				if p.X >= q.a && p.Y >= q.b {
+					t++
+				}
+			}
+			if inside {
+				explore(m.Left)
+				explore(m.Right)
+			}
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if path[i+1] == path[i].Left && path[i].Right != nil {
+				sib++
+				// Sibling block itself, then its subtree.
+				for _, p := range path[i].Right.Pts {
+					if p.X >= q.a && p.Y >= q.b {
+						t++
+					}
+				}
+				if path[i].Right.MinY >= q.b {
+					explore(path[i].Right.Left)
+					explore(path[i].Right.Right)
+				}
+			}
+		}
+		fmt.Fprintf(tw, "(%d,%d)\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			q.a, q.b, t, cornerDepth, anc, sib, descIn, descCut)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nDecomposition (region x-ranges and y-cutoffs, B=%d, n=%d):\n", b, n)
+	renderDecomposition(w, root, 0, math.MinInt64, math.MaxInt64)
+	return nil
+}
+
+// renderDecomposition prints the region tree as indented x-range / y-range
+// lines, the textual form of Figure 4's drawing.
+func renderDecomposition(w io.Writer, m *pstcore.MemNode, depth int, xlo, xhi int64) {
+	if m == nil || depth > 3 {
+		return
+	}
+	xs := make([]int64, 0, len(m.Pts))
+	ys := make([]int64, 0, len(m.Pts))
+	for _, p := range m.Pts {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	fmt.Fprintf(w, "region depth=%d x-split=%d points y in [%d..%d]\n", depth, m.Split, ys[0], ys[len(ys)-1])
+	renderDecomposition(w, m.Left, depth+1, xlo, m.Split)
+	renderDecomposition(w, m.Right, depth+1, m.Split, xhi)
+}
+
+// Runner describes one experiment for the CLI.
+type Runner struct {
+	Name string
+	Desc string
+	Run  func(io.Writer, Config) error
+}
+
+// Runners lists every experiment in EXPERIMENTS.md order.
+func Runners() []Runner {
+	return []Runner{
+		{"e1", "2-sided query I/Os: cached schemes vs IKO", RunE1},
+		{"e2", "storage ladder across schemes and page sizes", RunE2},
+		{"e3", "recursive schemes keep optimal queries", RunE3},
+		{"e4", "dynamic structure: amortized updates and queries", RunE4},
+		{"e5", "segment tree: naive vs path-cached (also F3)", RunE5},
+		{"e6", "interval tree vs segment tree", RunE6},
+		{"e7", "3-sided queries", RunE7},
+		{"e8", "B+-tree baseline on 2-D queries", RunE8},
+		{"e9", "dynamic 3-sided structure (Theorem 5.2)", RunE9},
+		{"e10", "extension: 4-sided window range tree", RunE10},
+		{"f2", "skeletal B-tree descent cost", RunF2},
+		{"f4", "Figure 4 block classification and decomposition", RunF4},
+		{"a1", "ablation: cache chunk length (Theorem 3.2's log B)", RunA1},
+		{"a2", "ablation: buffer pool size vs cold bounds", RunA2},
+		{"a3", "ablation: workload shape vs query constants", RunA3},
+	}
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, cfg Config) error {
+	for i, r := range Runners() {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := r.Run(w, cfg); err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package disk simulates a secondary-storage device in the standard external
+// memory (I/O) model used by the paper: data moves between memory and disk in
+// fixed-size pages, and the cost of an algorithm is the number of pages it
+// transfers. The package provides an allocating page store with exact I/O
+// accounting, an optional LRU buffer pool, and helpers for blocked lists
+// (chains of pages holding fixed-width records).
+//
+// All structures in this repository do their persistent work through a Pager
+// so that every theorem's I/O bound can be checked by reading counters rather
+// than by timing real hardware.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageID identifies a page within a Store. IDs are dense and start at zero.
+type PageID int64
+
+// InvalidPage is the nil value for page references (an empty chain, a missing
+// child, and so on).
+const InvalidPage PageID = -1
+
+// Errors returned by Store operations.
+var (
+	ErrBadPage   = errors.New("disk: page id out of range or freed")
+	ErrShortBuf  = errors.New("disk: buffer smaller than page size")
+	ErrPageSize  = errors.New("disk: page size too small")
+	ErrDoubleUse = errors.New("disk: page freed twice")
+)
+
+// Stats is a snapshot of the I/O counters of a Store or BufferPool.
+// Reads and Writes count page transfers; Allocs and Frees count lifecycle
+// events (an Alloc is not an I/O by itself).
+type Stats struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+	Frees  int64
+}
+
+// Total returns the total number of page transfers (reads plus writes).
+func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the difference s minus o, useful for measuring the cost of a
+// single operation between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:  s.Reads - o.Reads,
+		Writes: s.Writes - o.Writes,
+		Allocs: s.Allocs - o.Allocs,
+		Frees:  s.Frees - o.Frees,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
+}
+
+// Pager is the access interface shared by the raw Store and the BufferPool.
+// Read and Write transfer exactly one page.
+type Pager interface {
+	// PageSize reports the fixed page size in bytes.
+	PageSize() int
+	// Alloc reserves a fresh zeroed page and returns its id.
+	Alloc() (PageID, error)
+	// Free releases a page. Reading a freed page is an error.
+	Free(PageID) error
+	// Read copies the page's contents into buf, which must be at least
+	// PageSize bytes long.
+	Read(id PageID, buf []byte) error
+	// Write copies the first PageSize bytes of buf into the page.
+	Write(id PageID, buf []byte) error
+}
+
+// Store is an in-memory simulated disk. It is safe for concurrent use.
+//
+// The zero value is not usable; call NewStore.
+type Store struct {
+	mu       sync.RWMutex
+	pageSize int
+	pages    [][]byte
+	free     []PageID
+
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+	frees  atomic.Int64
+}
+
+// MinPageSize is the smallest page the store accepts. Chains need a small
+// header, and structures need room for at least a couple of records.
+const MinPageSize = 64
+
+// NewStore creates a simulated disk with the given page size in bytes.
+func NewStore(pageSize int) (*Store, error) {
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("%w: %d < %d", ErrPageSize, pageSize, MinPageSize)
+	}
+	return &Store{pageSize: pageSize}, nil
+}
+
+// MustStore is NewStore for callers with a known-good constant page size,
+// such as tests.
+func MustStore(pageSize int) *Store {
+	s, err := NewStore(pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// PageSize reports the page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Alloc reserves a fresh zeroed page.
+func (s *Store) Alloc() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.allocs.Add(1)
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.pages[id] = make([]byte, s.pageSize)
+		return id, nil
+	}
+	s.pages = append(s.pages, make([]byte, s.pageSize))
+	return PageID(len(s.pages) - 1), nil
+}
+
+// Free releases a page back to the store.
+func (s *Store) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	if s.pages[id] == nil {
+		return fmt.Errorf("%w: %d", ErrDoubleUse, id)
+	}
+	s.pages[id] = nil
+	s.free = append(s.free, id)
+	s.frees.Add(1)
+	return nil
+}
+
+// Read copies the page into buf and counts one read I/O.
+func (s *Store) Read(id PageID, buf []byte) error {
+	if len(buf) < s.pageSize {
+		return ErrShortBuf
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || int(id) >= len(s.pages) || s.pages[id] == nil {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	s.reads.Add(1)
+	copy(buf, s.pages[id])
+	return nil
+}
+
+// Write copies buf into the page and counts one write I/O.
+func (s *Store) Write(id PageID, buf []byte) error {
+	if len(buf) < s.pageSize {
+		return ErrShortBuf
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.pages) || s.pages[id] == nil {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	s.writes.Add(1)
+	copy(s.pages[id], buf[:s.pageSize])
+	return nil
+}
+
+// NumPages reports the number of live (allocated, not freed) pages — the
+// storage footprint every space theorem is checked against.
+func (s *Store) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages) - len(s.free)
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Reads:  s.reads.Load(),
+		Writes: s.writes.Load(),
+		Allocs: s.allocs.Load(),
+		Frees:  s.frees.Load(),
+	}
+}
+
+// ResetStats zeroes the I/O counters without touching page contents.
+func (s *Store) ResetStats() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.allocs.Store(0)
+	s.frees.Store(0)
+}

@@ -1,0 +1,384 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreAllocReadWrite(t *testing.T) {
+	s := MustStore(128)
+	id, err := s.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	buf := make([]byte, 128)
+	if err := s.Read(id, buf); err != nil {
+		t.Fatalf("Read fresh page: %v", err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+		}
+	}
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := s.Write(id, buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, 128)
+	if err := s.Read(id, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("read back different bytes")
+	}
+}
+
+func TestStorePageSizeValidation(t *testing.T) {
+	if _, err := NewStore(MinPageSize - 1); err == nil {
+		t.Fatal("NewStore accepted a too-small page size")
+	}
+	if _, err := NewStore(MinPageSize); err != nil {
+		t.Fatalf("NewStore rejected minimum page size: %v", err)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := MustStore(128)
+	buf := make([]byte, 128)
+	if err := s.Read(99, buf); !errors.Is(err, ErrBadPage) {
+		t.Errorf("Read of unallocated page: err=%v, want ErrBadPage", err)
+	}
+	if err := s.Write(99, buf); !errors.Is(err, ErrBadPage) {
+		t.Errorf("Write of unallocated page: err=%v, want ErrBadPage", err)
+	}
+	if err := s.Read(0, make([]byte, 10)); !errors.Is(err, ErrShortBuf) {
+		t.Errorf("short buffer read: err=%v, want ErrShortBuf", err)
+	}
+	id, _ := s.Alloc()
+	if err := s.Free(id); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := s.Free(id); !errors.Is(err, ErrDoubleUse) {
+		t.Errorf("double free: err=%v, want ErrDoubleUse", err)
+	}
+	if err := s.Read(id, buf); !errors.Is(err, ErrBadPage) {
+		t.Errorf("read of freed page: err=%v, want ErrBadPage", err)
+	}
+}
+
+func TestStoreFreeListReuse(t *testing.T) {
+	s := MustStore(128)
+	a, _ := s.Alloc()
+	buf := make([]byte, 128)
+	buf[0] = 0xFF
+	if err := s.Write(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Alloc()
+	if a != b {
+		t.Fatalf("expected freed page %d to be reused, got %d", a, b)
+	}
+	got := make([]byte, 128)
+	if err := s.Read(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("reused page not zeroed")
+	}
+	if s.NumPages() != 1 {
+		t.Fatalf("NumPages = %d, want 1", s.NumPages())
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := MustStore(128)
+	id, _ := s.Alloc()
+	buf := make([]byte, 128)
+	_ = s.Write(id, buf)
+	_ = s.Read(id, buf)
+	_ = s.Read(id, buf)
+	st := s.Stats()
+	if st.Reads != 2 || st.Writes != 1 || st.Allocs != 1 || st.Frees != 0 {
+		t.Fatalf("stats = %+v, want reads=2 writes=1 allocs=1 frees=0", st)
+	}
+	if st.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", st.Total())
+	}
+	before := st
+	_ = s.Read(id, buf)
+	d := s.Stats().Sub(before)
+	if d.Reads != 1 || d.Writes != 0 {
+		t.Fatalf("Sub = %+v, want reads=1", d)
+	}
+	s.ResetStats()
+	if s.Stats().Total() != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	s := MustStore(128)
+	p, err := NewBufferPool(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	buf := make([]byte, 128)
+	for i := 0; i < 3; i++ {
+		id, _ := p.Alloc()
+		buf[0] = byte(i + 1)
+		if err := p.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Pool capacity 2: writing 3 pages evicted the first (dirty write-back).
+	ps := p.Stats()
+	if ps.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", ps.Evictions)
+	}
+	// The evicted page must have been written back to the store.
+	got := make([]byte, 128)
+	if err := s.Read(ids[0], got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("evicted page not written back: got[0]=%d", got[0])
+	}
+	// Reading a cached page is a hit and costs no store I/O.
+	before := s.Stats()
+	if err := p.Read(ids[2], got); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Stats().Sub(before); d.Reads != 0 {
+		t.Fatalf("cached read hit the store: %+v", d)
+	}
+	if got[0] != 3 {
+		t.Fatalf("cached read returned %d, want 3", got[0])
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	s := MustStore(128)
+	p, _ := NewBufferPool(s, 4)
+	id, _ := p.Alloc()
+	buf := make([]byte, 128)
+	buf[5] = 42
+	if err := p.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty data lives only in the pool until Flush.
+	got := make([]byte, 128)
+	if err := s.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != 0 {
+		t.Fatal("write-back happened before Flush")
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != 42 {
+		t.Fatal("Flush did not write back dirty page")
+	}
+	// After Flush the cache is cold: next read misses.
+	p.ResetStats()
+	if err := p.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("post-flush read: %+v, want one miss", st)
+	}
+}
+
+func TestBufferPoolFreeDropsFrame(t *testing.T) {
+	s := MustStore(128)
+	p, _ := NewBufferPool(s, 4)
+	id, _ := p.Alloc()
+	buf := make([]byte, 128)
+	if err := p.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Read(id, buf); err == nil {
+		t.Fatal("read of freed page succeeded")
+	}
+}
+
+func TestBufferPoolCapacityValidation(t *testing.T) {
+	s := MustStore(128)
+	if _, err := NewBufferPool(s, 0); err == nil {
+		t.Fatal("NewBufferPool accepted capacity 0")
+	}
+}
+
+func TestChainCap(t *testing.T) {
+	if c := ChainCap(4096, 24); c != (4096-chainHeader)/24 {
+		t.Fatalf("ChainCap = %d", c)
+	}
+	if c := ChainCap(64, 100); c != 0 {
+		t.Fatalf("oversized record: cap = %d, want 0", c)
+	}
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	s := MustStore(128)
+	const rec = 8
+	w, err := NewChainWriter(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		b := make([]byte, rec)
+		b[0] = byte(i)
+		b[1] = byte(i >> 8)
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head, pages, count, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+	wantPages := ChainPages(128, rec, n)
+	if pages != wantPages {
+		t.Fatalf("pages = %d, want %d", pages, wantPages)
+	}
+	var got []int
+	reads, err := ScanChain(s, rec, head, func(r []byte) bool {
+		got = append(got, int(r[0])|int(r[1])<<8)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != wantPages {
+		t.Fatalf("scan read %d pages, want %d", reads, wantPages)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d records, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("record %d = %d", i, v)
+		}
+	}
+}
+
+func TestChainEarlyStop(t *testing.T) {
+	s := MustStore(128)
+	const rec = 8
+	recs := make([]byte, rec*100)
+	head, _, err := WriteChain(s, rec, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	seen := 0
+	reads, err := ScanChain(s, rec, head, func(r []byte) bool {
+		seen++
+		return seen < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Fatalf("saw %d records, want 3", seen)
+	}
+	if reads != 1 {
+		t.Fatalf("early stop read %d pages, want 1", reads)
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	s := MustStore(128)
+	w, _ := NewChainWriter(s, 8)
+	head, pages, count, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != InvalidPage || pages != 0 || count != 0 {
+		t.Fatalf("empty chain: head=%d pages=%d count=%d", head, pages, count)
+	}
+	reads, err := ScanChain(s, 8, head, func([]byte) bool { t.Fatal("callback on empty chain"); return false })
+	if err != nil || reads != 0 {
+		t.Fatalf("scan of empty chain: reads=%d err=%v", reads, err)
+	}
+}
+
+func TestChainAppendErrors(t *testing.T) {
+	s := MustStore(128)
+	if _, err := NewChainWriter(s, 4096); err == nil {
+		t.Fatal("NewChainWriter accepted oversized record")
+	}
+	w, _ := NewChainWriter(s, 8)
+	if err := w.Append(make([]byte, 7)); err == nil {
+		t.Fatal("Append accepted wrong-sized record")
+	}
+	_, _, _, _ = w.Close()
+	if err := w.Append(make([]byte, 8)); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestFreeChain(t *testing.T) {
+	s := MustStore(128)
+	recs := make([]byte, 8*100)
+	head, pages, err := WriteChain(s, 8, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := s.NumPages()
+	if err := FreeChain(s, head); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumPages(); got != live-pages {
+		t.Fatalf("after FreeChain: %d live pages, want %d", got, live-pages)
+	}
+	if err := FreeChain(s, InvalidPage); err != nil {
+		t.Fatalf("FreeChain(InvalidPage): %v", err)
+	}
+}
+
+// Property: a chain reproduces any record sequence exactly, in order, for
+// arbitrary record contents and counts.
+func TestChainRoundTripProperty(t *testing.T) {
+	s := MustStore(256)
+	f := func(payload []byte) bool {
+		const rec = 16
+		// Trim to a multiple of the record size.
+		payload = payload[:len(payload)-len(payload)%rec]
+		head, _, err := WriteChain(s, rec, payload)
+		if err != nil {
+			return false
+		}
+		var got []byte
+		_, err = ScanChain(s, rec, head, func(r []byte) bool {
+			got = append(got, r...)
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(payload, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package disk
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is returned by a FaultPager once its budget is exhausted.
+var ErrInjected = errors.New("disk: injected fault")
+
+// FaultPager wraps a Pager and fails every operation after a fixed number
+// of successful ones. Tests use it to verify that the structures propagate
+// I/O errors instead of panicking or corrupting in-memory state.
+type FaultPager struct {
+	Inner Pager
+	// Budget is decremented on every operation; when it goes negative the
+	// operation fails with ErrInjected.
+	budget atomic.Int64
+}
+
+// NewFaultPager allows `budget` operations before failing.
+func NewFaultPager(inner Pager, budget int64) *FaultPager {
+	fp := &FaultPager{Inner: inner}
+	fp.budget.Store(budget)
+	return fp
+}
+
+// SetBudget resets the remaining operation budget — e.g. unlimited during a
+// build, then small to fail the next query.
+func (f *FaultPager) SetBudget(n int64) { f.budget.Store(n) }
+
+// Remaining reports the remaining budget (negative once exhausted).
+func (f *FaultPager) Remaining() int64 { return f.budget.Load() }
+
+func (f *FaultPager) take() error {
+	if f.budget.Add(-1) < 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+// PageSize implements Pager.
+func (f *FaultPager) PageSize() int { return f.Inner.PageSize() }
+
+// Alloc implements Pager.
+func (f *FaultPager) Alloc() (PageID, error) {
+	if err := f.take(); err != nil {
+		return InvalidPage, err
+	}
+	return f.Inner.Alloc()
+}
+
+// Free implements Pager.
+func (f *FaultPager) Free(id PageID) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.Inner.Free(id)
+}
+
+// Read implements Pager.
+func (f *FaultPager) Read(id PageID, buf []byte) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.Inner.Read(id, buf)
+}
+
+// Write implements Pager.
+func (f *FaultPager) Write(id PageID, buf []byte) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.Inner.Write(id, buf)
+}

@@ -1,0 +1,267 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is a Pager backed by a real file, for running any of the
+// structures against persistent storage instead of the in-memory simulator.
+// The I/O accounting is identical, so bounds measured on a Store hold
+// unchanged on a FileStore.
+//
+// Layout: a one-page superblock (magic, page size, page count, free-list
+// head) followed by pages addressed as PageID 0..n-1 at byte offset
+// (1+id)*pageSize. Freed pages form an intrusive on-disk free list: the
+// first 8 bytes of a free page point at the next free page.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int64 // allocated-or-freed page slots in the file
+	freeHead PageID
+	appHead  PageID          // application metadata page (index headers)
+	freeSet  map[PageID]bool // guards against double free / read-after-free
+
+	reads  int64
+	writes int64
+	allocs int64
+	frees  int64
+}
+
+const fileMagic = 0x70636163686500 // "pcache\0"
+
+var errClosed = errors.New("disk: file store closed")
+
+// CreateFileStore creates (or truncates) a file store at path.
+func CreateFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("%w: %d < %d", ErrPageSize, pageSize, MinPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileStore{f: f, pageSize: pageSize, freeHead: InvalidPage, appHead: InvalidPage, freeSet: map[PageID]bool{}}
+	if err := fs.writeSuper(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// OpenFileStore opens an existing file store.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 40)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: reading superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != fileMagic {
+		f.Close()
+		return nil, errors.New("disk: not a pathcache file store")
+	}
+	fs := &FileStore{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[8:12])),
+		numPages: int64(binary.LittleEndian.Uint64(hdr[16:24])),
+		freeHead: PageID(binary.LittleEndian.Uint64(hdr[24:32])),
+		appHead:  PageID(binary.LittleEndian.Uint64(hdr[32:40])),
+		freeSet:  map[PageID]bool{},
+	}
+	// Rebuild the free set by walking the on-disk free list.
+	buf := make([]byte, 8)
+	for id := fs.freeHead; id != InvalidPage; {
+		fs.freeSet[id] = true
+		if _, err := f.ReadAt(buf, fs.offset(id)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("disk: walking free list: %w", err)
+		}
+		id = PageID(binary.LittleEndian.Uint64(buf))
+	}
+	return fs, nil
+}
+
+func (fs *FileStore) offset(id PageID) int64 {
+	return int64(fs.pageSize) * (int64(id) + 1)
+}
+
+// writeSuper persists the superblock. Caller holds fs.mu (or is the
+// constructor).
+func (fs *FileStore) writeSuper() error {
+	hdr := make([]byte, fs.pageSize)
+	binary.LittleEndian.PutUint64(hdr[0:8], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(fs.pageSize))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(fs.numPages))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(fs.freeHead))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(fs.appHead))
+	_, err := fs.f.WriteAt(hdr, 0)
+	return err
+}
+
+// SetAppHead records the application's metadata page (e.g. a serialized
+// index header) in the superblock.
+func (fs *FileStore) SetAppHead(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return errClosed
+	}
+	fs.appHead = id
+	return fs.writeSuper()
+}
+
+// AppHead returns the application's metadata page, or InvalidPage.
+func (fs *FileStore) AppHead() PageID {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.appHead
+}
+
+// PageSize implements Pager.
+func (fs *FileStore) PageSize() int { return fs.pageSize }
+
+// Alloc implements Pager.
+func (fs *FileStore) Alloc() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return InvalidPage, errClosed
+	}
+	fs.allocs++
+	if fs.freeHead != InvalidPage {
+		id := fs.freeHead
+		buf := make([]byte, 8)
+		if _, err := fs.f.ReadAt(buf, fs.offset(id)); err != nil {
+			return InvalidPage, err
+		}
+		fs.freeHead = PageID(binary.LittleEndian.Uint64(buf))
+		delete(fs.freeSet, id)
+		// Zero the reused page, matching Store semantics.
+		if _, err := fs.f.WriteAt(make([]byte, fs.pageSize), fs.offset(id)); err != nil {
+			return InvalidPage, err
+		}
+		return id, fs.writeSuper()
+	}
+	id := PageID(fs.numPages)
+	fs.numPages++
+	if _, err := fs.f.WriteAt(make([]byte, fs.pageSize), fs.offset(id)); err != nil {
+		return InvalidPage, err
+	}
+	return id, fs.writeSuper()
+}
+
+// Free implements Pager.
+func (fs *FileStore) Free(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return errClosed
+	}
+	if id < 0 || int64(id) >= fs.numPages {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	if fs.freeSet[id] {
+		return fmt.Errorf("%w: %d", ErrDoubleUse, id)
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(fs.freeHead))
+	if _, err := fs.f.WriteAt(buf, fs.offset(id)); err != nil {
+		return err
+	}
+	fs.freeHead = id
+	fs.freeSet[id] = true
+	fs.frees++
+	return fs.writeSuper()
+}
+
+// Read implements Pager.
+func (fs *FileStore) Read(id PageID, buf []byte) error {
+	if len(buf) < fs.pageSize {
+		return ErrShortBuf
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return errClosed
+	}
+	if id < 0 || int64(id) >= fs.numPages || fs.freeSet[id] {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	fs.reads++
+	_, err := fs.f.ReadAt(buf[:fs.pageSize], fs.offset(id))
+	return err
+}
+
+// Write implements Pager.
+func (fs *FileStore) Write(id PageID, buf []byte) error {
+	if len(buf) < fs.pageSize {
+		return ErrShortBuf
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return errClosed
+	}
+	if id < 0 || int64(id) >= fs.numPages || fs.freeSet[id] {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	fs.writes++
+	_, err := fs.f.WriteAt(buf[:fs.pageSize], fs.offset(id))
+	return err
+}
+
+// NumPages reports the number of live pages.
+func (fs *FileStore) NumPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return int(fs.numPages) - len(fs.freeSet)
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (fs *FileStore) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return Stats{Reads: fs.reads, Writes: fs.writes, Allocs: fs.allocs, Frees: fs.frees}
+}
+
+// ResetStats zeroes the I/O counters.
+func (fs *FileStore) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.reads, fs.writes, fs.allocs, fs.frees = 0, 0, 0, 0
+}
+
+// Sync flushes the file to stable storage.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return errClosed
+	}
+	return fs.f.Sync()
+}
+
+// Close syncs and closes the file. The store is unusable afterwards.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return nil
+	}
+	if err := fs.f.Sync(); err != nil {
+		fs.f.Close()
+		fs.f = nil
+		return err
+	}
+	err := fs.f.Close()
+	fs.f = nil
+	return err
+}

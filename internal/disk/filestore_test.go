@@ -1,0 +1,250 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newFileStore(t *testing.T, pageSize int) (*FileStore, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.pc")
+	fs, err := CreateFileStore(path, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs, path
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, _ := newFileStore(t, 128)
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	if err := fs.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := fs.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("round trip mismatch")
+	}
+	st := fs.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Allocs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	fs, path := newFileStore(t, 128)
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		buf[0] = byte(i + 1)
+		if err := fs.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Free a couple to persist the free list too.
+	if err := fs.Free(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Free(ids[7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.PageSize() != 128 {
+		t.Fatalf("page size = %d", re.PageSize())
+	}
+	if re.NumPages() != 8 {
+		t.Fatalf("NumPages = %d, want 8", re.NumPages())
+	}
+	buf := make([]byte, 128)
+	for i, id := range ids {
+		if i == 3 || i == 7 {
+			if err := re.Read(id, buf); !errors.Is(err, ErrBadPage) {
+				t.Fatalf("read of freed page %d: %v", id, err)
+			}
+			continue
+		}
+		if err := re.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d: got %d want %d", id, buf[0], i+1)
+		}
+	}
+	// Freed pages are reused before the file grows.
+	a, err := re.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != ids[7] && a != ids[3] {
+		t.Fatalf("expected reuse of a freed page, got %d", a)
+	}
+	if err := re.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("reused page not zeroed")
+	}
+}
+
+func TestFileStoreErrors(t *testing.T) {
+	fs, path := newFileStore(t, 128)
+	buf := make([]byte, 128)
+	if err := fs.Read(5, buf); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("read unallocated: %v", err)
+	}
+	if err := fs.Read(0, make([]byte, 10)); !errors.Is(err, ErrShortBuf) {
+		t.Fatalf("short buf: %v", err)
+	}
+	id, _ := fs.Alloc()
+	if err := fs.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Free(id); !errors.Is(err, ErrDoubleUse) {
+		t.Fatalf("double free: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Alloc(); !errors.Is(err, errClosed) {
+		t.Fatalf("alloc after close: %v", err)
+	}
+	if _, err := CreateFileStore(path, 1); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("opened missing file")
+	}
+}
+
+func TestFileStoreRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "not-a-store")
+	if err := writeFile(path, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("opened a non-store file")
+	}
+}
+
+func TestFileStoreChains(t *testing.T) {
+	fs, _ := newFileStore(t, 128)
+	recs := make([]byte, 16*50)
+	for i := range recs {
+		recs[i] = byte(i)
+	}
+	head, _, err := WriteChain(fs, 16, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if _, err := ScanChain(fs, 16, head, func(r []byte) bool {
+		got = append(got, r...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recs, got) {
+		t.Fatal("chain round trip on file store failed")
+	}
+	if err := FreeChain(fs, head); err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumPages() != 0 {
+		t.Fatalf("pages leaked: %d", fs.NumPages())
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Property: any alloc/write/free sequence survives a close/reopen cycle
+// with identical contents and free-set.
+func TestFileStoreReopenProperty(t *testing.T) {
+	f := func(ops []struct {
+		Free bool
+		Fill uint8
+	}) bool {
+		path := filepath.Join(t.TempDir(), "p.pc")
+		fs, err := CreateFileStore(path, 128)
+		if err != nil {
+			return false
+		}
+		contents := map[PageID][]byte{}
+		var liveIDs []PageID
+		for _, op := range ops {
+			if op.Free && len(liveIDs) > 0 {
+				id := liveIDs[0]
+				liveIDs = liveIDs[1:]
+				if fs.Free(id) != nil {
+					return false
+				}
+				delete(contents, id)
+				continue
+			}
+			id, err := fs.Alloc()
+			if err != nil {
+				return false
+			}
+			buf := make([]byte, 128)
+			for i := range buf {
+				buf[i] = op.Fill
+			}
+			if fs.Write(id, buf) != nil {
+				return false
+			}
+			contents[id] = buf
+			liveIDs = append(liveIDs, id)
+		}
+		if fs.Close() != nil {
+			return false
+		}
+		re, err := OpenFileStore(path)
+		if err != nil {
+			return false
+		}
+		defer re.Close()
+		if re.NumPages() != len(contents) {
+			return false
+		}
+		got := make([]byte, 128)
+		for id, want := range contents {
+			if re.Read(id, got) != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package disk
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PoolStats reports buffer-pool effectiveness.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// BufferPool is a write-back LRU page cache layered over a Store. It
+// implements Pager, so structures can run either directly against the store
+// (cold, worst-case I/O measurement) or through a pool (warm behaviour).
+//
+// BufferPool is safe for concurrent use, though the experiments in this
+// repository drive it single-threaded for deterministic counts.
+type BufferPool struct {
+	mu       sync.Mutex
+	store    Pager
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+	stats    PoolStats
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool wraps a pager with an LRU cache of capacity pages.
+func NewBufferPool(store Pager, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("disk: buffer pool capacity %d < 1", capacity)
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// PageSize reports the underlying store's page size.
+func (p *BufferPool) PageSize() int { return p.store.PageSize() }
+
+// Alloc reserves a fresh page in the underlying store. The page is not
+// brought into the cache until it is read or written.
+func (p *BufferPool) Alloc() (PageID, error) { return p.store.Alloc() }
+
+// Free drops any cached copy (discarding dirty data — the page is going
+// away) and releases the page in the store.
+func (p *BufferPool) Free(id PageID) error {
+	p.mu.Lock()
+	if el, ok := p.frames[id]; ok {
+		p.lru.Remove(el)
+		delete(p.frames, id)
+	}
+	p.mu.Unlock()
+	return p.store.Free(id)
+}
+
+// Read returns the page contents, from cache when possible.
+func (p *BufferPool) Read(id PageID, buf []byte) error {
+	if len(buf) < p.store.PageSize() {
+		return ErrShortBuf
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(el)
+		copy(buf, el.Value.(*frame).data)
+		return nil
+	}
+	p.stats.Misses++
+	data := make([]byte, p.store.PageSize())
+	if err := p.store.Read(id, data); err != nil {
+		return err
+	}
+	p.insert(&frame{id: id, data: data})
+	copy(buf, data)
+	return nil
+}
+
+// Write updates the cached page, marking it dirty; the store is updated on
+// eviction or Flush.
+func (p *BufferPool) Write(id PageID, buf []byte) error {
+	ps := p.store.PageSize()
+	if len(buf) < ps {
+		return ErrShortBuf
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(el)
+		f := el.Value.(*frame)
+		copy(f.data, buf[:ps])
+		f.dirty = true
+		return nil
+	}
+	p.stats.Misses++
+	data := make([]byte, ps)
+	copy(data, buf[:ps])
+	p.insert(&frame{id: id, data: data, dirty: true})
+	return nil
+}
+
+// insert adds a frame, evicting the LRU victim if the pool is full.
+// Caller holds p.mu.
+func (p *BufferPool) insert(f *frame) {
+	for p.lru.Len() >= p.capacity {
+		victim := p.lru.Back()
+		vf := victim.Value.(*frame)
+		if vf.dirty {
+			// Best effort: eviction of a dirty page writes it back. An
+			// error here means the page was freed underneath us, which the
+			// structures never do for live data.
+			_ = p.store.Write(vf.id, vf.data)
+		}
+		p.lru.Remove(victim)
+		delete(p.frames, vf.id)
+		p.stats.Evictions++
+	}
+	p.frames[f.id] = p.lru.PushFront(f)
+}
+
+// Flush writes back every dirty frame and empties the cache. Subsequent
+// reads are cold, which is how per-query worst-case I/O is measured.
+func (p *BufferPool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			if err := p.store.Write(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	p.lru.Init()
+	p.frames = make(map[PageID]*list.Element, p.capacity)
+	return nil
+}
+
+// Stats returns a snapshot of hit/miss/eviction counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (p *BufferPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = PoolStats{}
+}

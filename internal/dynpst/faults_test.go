@@ -1,0 +1,35 @@
+package dynpst
+
+import (
+	"errors"
+	"testing"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/workload"
+)
+
+// The dynamic structure must propagate injected I/O failures during updates
+// and queries without panicking.
+func TestFaultInjection(t *testing.T) {
+	fp := disk.NewFaultPager(disk.MustStore(512), 1<<40)
+	tr, err := New(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.UniformPoints(2_000, 100_000, 1005)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp.SetBudget(0)
+	if err := tr.Insert(pts[0]); !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("starved insert: err=%v", err)
+	}
+	if _, _, err := tr.Query(0, 0); !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("starved query: err=%v", err)
+	}
+	// Note: unlike the static trees, a failed dynamic update may leave the
+	// structure partially applied — real systems pair this with a
+	// write-ahead log. We only assert that errors surface cleanly.
+}

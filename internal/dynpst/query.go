@@ -1,0 +1,322 @@
+package dynpst
+
+import (
+	"sort"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+)
+
+// pendingBuf captures one U buffer's operations with its depth; deeper
+// buffers hold older operations.
+type pendingBuf struct {
+	depth int
+	ops   []op
+}
+
+// dynQuery carries the state of one query.
+type dynQuery struct {
+	t       *Tree
+	a, b    int64
+	listed  []record.Point // points found in lists / second-level trees
+	pending []pendingBuf
+	st      QueryStats
+}
+
+// Query reports every live point with x >= a and y >= b: the static
+// two-level walk over the current lists merged with the buffered operations
+// along every super node the walk enters.
+func (t *Tree) Query(a, b int64) ([]record.Point, QueryStats, error) {
+	q := &dynQuery{t: t, a: a, b: b}
+
+	// Corner descent, charging directory and U pages per super node.
+	var path []*region
+	r := t.root
+	stoppedOnY := false
+	for r != nil {
+		if r.sn != nil {
+			if err := q.enterSupernode(r); err != nil {
+				return nil, q.st, err
+			}
+		}
+		path = append(path, r)
+		if r.count > 0 && r.minY < b {
+			stoppedOnY = true
+			break
+		}
+		var next *region
+		if a <= r.split {
+			next = r.left
+		} else {
+			next = r.right
+		}
+		if next == nil {
+			break
+		}
+		r = next
+	}
+	corner := path[len(path)-1]
+
+	// Corner region: second-level query merged with its u buffer.
+	if err := q.cornerResults(corner); err != nil {
+		return nil, q.st, err
+	}
+	// Descent that stopped on a missing left child: the right child is
+	// still a right sibling.
+	if !stoppedOnY && a <= corner.split && corner.left == nil && corner.right != nil {
+		if err := q.exploreRegion(corner.right); err != nil {
+			return nil, q.st, err
+		}
+	}
+
+	// Chunk walk from the corner to the root. Chunks coincide with super
+	// nodes, so caches never reference content outside their chunk.
+	cur := len(path) - 1
+	for {
+		cs := (path[cur].depth / t.segLen) * t.segLen
+		if err := q.scanCaches(path[cur]); err != nil {
+			return nil, q.st, err
+		}
+		for j := cs; j < cur; j++ {
+			if err := q.continueAncestor(path[j]); err != nil {
+				return nil, q.st, err
+			}
+			if path[j+1] == path[j].left && path[j].right != nil {
+				if err := q.continueSibling(path[j].right); err != nil {
+					return nil, q.st, err
+				}
+			}
+		}
+		if cs == 0 {
+			break
+		}
+		bj := cs - 1
+		if err := q.directAncestor(path[bj]); err != nil {
+			return nil, q.st, err
+		}
+		if path[bj+1] == path[bj].left && path[bj].right != nil {
+			if err := q.exploreRegion(path[bj].right); err != nil {
+				return nil, q.st, err
+			}
+		}
+		cur = bj
+	}
+
+	out := q.merge()
+	q.st.Results = len(out)
+	return out, q.st, nil
+}
+
+// enterSupernode charges the directory and U pages and records the pending
+// operations.
+func (q *dynQuery) enterSupernode(sr *region) error {
+	if err := q.t.chargeDirectory(sr); err != nil {
+		return err
+	}
+	q.st.DirPages += sr.sn.dirPages
+	if err := q.t.bufCharge(&sr.sn.u); err != nil {
+		return err
+	}
+	q.st.BufferPages += sr.sn.u.pages
+	if len(sr.sn.u.ops) > 0 {
+		q.pending = append(q.pending, pendingBuf{depth: sr.depth, ops: sr.sn.u.ops})
+	}
+	return nil
+}
+
+// cornerResults resolves the corner region: its second-level tree merged
+// with the u buffer (operations already in the lists but not in the tree).
+func (q *dynQuery) cornerResults(corner *region) error {
+	present := map[record.Point]bool{}
+	if corner.sub != nil {
+		pts, sst, err := corner.sub.Query(q.a, q.b)
+		if err != nil {
+			return err
+		}
+		q.st.ListPages += sst.PathPages + sst.ListPages
+		for _, p := range pts {
+			present[p] = true
+		}
+	}
+	if err := q.t.bufCharge(&corner.u); err != nil {
+		return err
+	}
+	q.st.BufferPages += corner.u.pages
+	for _, o := range corner.u.ops {
+		if o.insert {
+			if o.p.X >= q.a && o.p.Y >= q.b {
+				present[o.p] = true
+			}
+		} else {
+			delete(present, o.p)
+		}
+	}
+	for p := range present {
+		q.listed = append(q.listed, p)
+	}
+	return nil
+}
+
+// scanCaches reads a node's A and S caches.
+func (q *dynQuery) scanCaches(r *region) error {
+	if r.aCount > 0 {
+		if err := q.scanXDesc(r.aHead, 0); err != nil {
+			return err
+		}
+	}
+	if r.sCount > 0 {
+		if err := q.scanYDesc(r.sHead, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// continueAncestor scans an ancestor's X list past the cached first block
+// when that block was entirely inside the query.
+func (q *dynQuery) continueAncestor(anc *region) error {
+	if anc.count == 0 || anc.firstXMin < q.a {
+		return nil
+	}
+	skip := anc.count
+	if skip > q.t.b {
+		skip = q.t.b
+	}
+	if skip >= anc.count {
+		return nil
+	}
+	return q.scanXDesc(anc.xHead, skip)
+}
+
+// continueSibling scans a sibling's Y list past the cached first block and
+// descends into its children when the sibling was entirely above b.
+func (q *dynQuery) continueSibling(sib *region) error {
+	if sib.count > 0 && sib.firstYMin >= q.b {
+		skip := sib.count
+		if skip > q.t.b {
+			skip = q.t.b
+		}
+		if skip < sib.count {
+			if err := q.scanYDesc(sib.yHead, skip); err != nil {
+				return err
+			}
+		}
+	}
+	if sib.minY >= q.b {
+		return q.exploreChildren(sib)
+	}
+	return nil
+}
+
+// directAncestor reads a chunk-boundary ancestor's full X list.
+func (q *dynQuery) directAncestor(anc *region) error {
+	if anc.count == 0 {
+		return nil
+	}
+	return q.scanXDesc(anc.xHead, 0)
+}
+
+// exploreRegion handles a region entirely right of x=a that no cache
+// covers: scan its Y list and recurse while it was entirely above b.
+// Entering a super node charges its directory and collects its buffer.
+func (q *dynQuery) exploreRegion(r *region) error {
+	if r.sn != nil {
+		if err := q.enterSupernode(r); err != nil {
+			return err
+		}
+	}
+	if r.count > 0 {
+		if err := q.scanYDesc(r.yHead, 0); err != nil {
+			return err
+		}
+	}
+	if r.minY >= q.b {
+		return q.exploreChildren(r)
+	}
+	return nil
+}
+
+func (q *dynQuery) exploreChildren(r *region) error {
+	if r.left != nil {
+		if err := q.exploreRegion(r.left); err != nil {
+			return err
+		}
+	}
+	if r.right != nil {
+		return q.exploreRegion(r.right)
+	}
+	return nil
+}
+
+// scanXDesc scans an x-descending chain, skipping already-reported records,
+// reporting while x >= a.
+func (q *dynQuery) scanXDesc(head disk.PageID, skip int) error {
+	seen := 0
+	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
+		seen++
+		if seen <= skip {
+			return true
+		}
+		p := record.DecodePoint(rec)
+		if p.X < q.a {
+			return false
+		}
+		if p.Y >= q.b {
+			q.listed = append(q.listed, p)
+		}
+		return true
+	})
+	q.st.ListPages += pages
+	return err
+}
+
+// scanYDesc scans a y-descending chain, skipping already-reported records,
+// reporting while y >= b.
+func (q *dynQuery) scanYDesc(head disk.PageID, skip int) error {
+	seen := 0
+	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
+		seen++
+		if seen <= skip {
+			return true
+		}
+		p := record.DecodePoint(rec)
+		if p.Y < q.b {
+			return false
+		}
+		if p.X >= q.a {
+			q.listed = append(q.listed, p)
+		}
+		return true
+	})
+	q.st.ListPages += pages
+	return err
+}
+
+// merge applies the pending buffered operations over the listed results:
+// any point with a pending operation is dropped from the list results, and
+// re-added when its newest pending operation is a matching insert.
+func (q *dynQuery) merge() []record.Point {
+	if len(q.pending) == 0 {
+		return q.listed
+	}
+	// Deeper buffers are older; apply oldest first so newer ops overwrite.
+	sort.SliceStable(q.pending, func(i, j int) bool { return q.pending[i].depth > q.pending[j].depth })
+	final := map[record.Point]bool{} // point -> newest op is insert
+	for _, pb := range q.pending {
+		for _, o := range pb.ops {
+			final[o.p] = o.insert
+		}
+	}
+	out := q.listed[:0]
+	for _, p := range q.listed {
+		if _, ok := final[p]; !ok {
+			out = append(out, p)
+		}
+	}
+	for p, ins := range final {
+		if ins && p.X >= q.a && p.Y >= q.b {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package ext3side
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+	"pathcache/internal/skeletal"
+)
+
+// Meta is the reopen metadata of a 3-sided tree.
+type Meta struct {
+	N          int
+	BlockPages int
+	CachePages int
+	Skel       skeletal.Meta
+}
+
+const metaMagic = uint32(0x74736431) // "tsd1"
+
+// Meta returns the tree's reopen metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{
+		N:          t.n,
+		BlockPages: t.blockPages,
+		CachePages: t.cachePages,
+		Skel:       t.skel.Meta(),
+	}
+}
+
+// Encode serializes the meta.
+func (m Meta) Encode() []byte {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.N))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.BlockPages))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.CachePages))
+	return m.Skel.Append(hdr[:])
+}
+
+// DecodeMeta deserializes a meta blob produced by Encode.
+func DecodeMeta(buf []byte) (Meta, error) {
+	if len(buf) < 16 {
+		return Meta{}, errors.New("ext3side: truncated meta")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return Meta{}, errors.New("ext3side: bad meta magic")
+	}
+	m := Meta{
+		N:          int(int32(binary.LittleEndian.Uint32(buf[4:]))),
+		BlockPages: int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		CachePages: int(int32(binary.LittleEndian.Uint32(buf[12:]))),
+	}
+	var err error
+	m.Skel, _, err = skeletal.DecodeMeta(buf[16:])
+	return m, err
+}
+
+// Reopen attaches to a previously built tree persisted on p.
+func Reopen(p disk.Pager, m Meta) (*Tree, error) {
+	b := disk.ChainCap(p.PageSize(), record.PointSize)
+	if b < 2 {
+		return nil, fmt.Errorf("ext3side: page size %d too small", p.PageSize())
+	}
+	if m.Skel.PayloadSize != payloadSize {
+		return nil, fmt.Errorf("ext3side: payload size %d, want %d (format drift)", m.Skel.PayloadSize, payloadSize)
+	}
+	skel, err := skeletal.Reopen(p, m.Skel)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		pager:      p,
+		skel:       skel,
+		b:          b,
+		n:          m.N,
+		blockPages: m.BlockPages,
+		cachePages: m.CachePages,
+	}
+	t.segLen = bits.Len(uint(b)) - 1
+	if t.segLen < 1 {
+		t.segLen = 1
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package extint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+	"pathcache/internal/skeletal"
+)
+
+// Meta is the reopen metadata of an external interval tree.
+type Meta struct {
+	Variant    Variant
+	N          int
+	ListPages  int
+	CachePages int
+	LocalPages int
+	Skel       skeletal.Meta
+}
+
+const metaMagic = uint32(0x69747631) // "itv1"
+
+// Meta returns the tree's reopen metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{
+		Variant:    t.variant,
+		N:          t.n,
+		ListPages:  t.listPages,
+		CachePages: t.cachePages,
+		LocalPages: t.localPages,
+		Skel:       t.skel.Meta(),
+	}
+}
+
+// Encode serializes the meta.
+func (m Meta) Encode() []byte {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Variant))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.N))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.ListPages))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(m.CachePages))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(m.LocalPages))
+	return m.Skel.Append(hdr[:])
+}
+
+// DecodeMeta deserializes a meta blob produced by Encode.
+func DecodeMeta(buf []byte) (Meta, error) {
+	if len(buf) < 24 {
+		return Meta{}, errors.New("extint: truncated meta")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return Meta{}, errors.New("extint: bad meta magic")
+	}
+	m := Meta{
+		Variant:    Variant(binary.LittleEndian.Uint32(buf[4:])),
+		N:          int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		ListPages:  int(int32(binary.LittleEndian.Uint32(buf[12:]))),
+		CachePages: int(int32(binary.LittleEndian.Uint32(buf[16:]))),
+		LocalPages: int(int32(binary.LittleEndian.Uint32(buf[20:]))),
+	}
+	var err error
+	m.Skel, _, err = skeletal.DecodeMeta(buf[24:])
+	return m, err
+}
+
+// Reopen attaches to a previously built tree persisted on p.
+func Reopen(p disk.Pager, m Meta) (*Tree, error) {
+	b := disk.ChainCap(p.PageSize(), record.IntervalSize)
+	if b < 2 {
+		return nil, fmt.Errorf("extint: page size %d too small", p.PageSize())
+	}
+	if m.Skel.PayloadSize != payloadSize {
+		return nil, fmt.Errorf("extint: payload size %d, want %d (format drift)", m.Skel.PayloadSize, payloadSize)
+	}
+	skel, err := skeletal.Reopen(p, m.Skel)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		pager:      p,
+		variant:    m.Variant,
+		skel:       skel,
+		b:          b,
+		n:          m.N,
+		listPages:  m.ListPages,
+		cachePages: m.CachePages,
+		localPages: m.LocalPages,
+	}, nil
+}

@@ -1,0 +1,44 @@
+package extpst
+
+import (
+	"testing"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/workload"
+)
+
+// Destroy must release every page the tree allocated, for every scheme —
+// the dynamic structure depends on this for second-level rebuilds.
+func TestDestroyReleasesAllPages(t *testing.T) {
+	for _, sc := range allSchemes {
+		s := disk.MustStore(512)
+		pts := workload.UniformPoints(5_000, 100_000, 401)
+		tr, err := Build(s, pts, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumPages() == 0 {
+			t.Fatalf("%v: no pages allocated", sc)
+		}
+		if err := tr.Destroy(); err != nil {
+			t.Fatalf("%v: destroy: %v", sc, err)
+		}
+		if got := s.NumPages(); got != 0 {
+			t.Fatalf("%v: %d pages leaked after Destroy", sc, got)
+		}
+	}
+}
+
+func TestDestroyEmptyTree(t *testing.T) {
+	s := disk.MustStore(512)
+	tr, err := Build(s, nil, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPages() != 0 {
+		t.Fatalf("%d pages leaked", s.NumPages())
+	}
+}

@@ -1,0 +1,121 @@
+package extpst
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+	"pathcache/internal/skeletal"
+)
+
+// Meta is the reopen metadata of a flat (IKO/Basic/Segmented) tree. The
+// recursive schemes keep per-region sub-structure tables in memory and are
+// not persistable; rebuild them on open.
+type Meta struct {
+	Scheme     Scheme
+	N          int
+	SegLen     int
+	BlockPages int
+	APages     int
+	SPages     int
+	Skel       skeletal.Meta
+}
+
+const metaMagic = uint32(0x70737431) // "pst1"
+
+// Meta returns the tree's reopen metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{
+		Scheme:     t.scheme,
+		N:          t.n,
+		SegLen:     t.segLen,
+		BlockPages: t.blockPages,
+		APages:     t.aPages,
+		SPages:     t.sPages,
+		Skel:       t.skel.Meta(),
+	}
+}
+
+// Encode serializes the meta.
+func (m Meta) Encode() []byte {
+	buf := make([]byte, 0, 64)
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Scheme))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.N))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.BlockPages))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(m.APages))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(m.SPages))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(m.SegLen))
+	buf = append(buf, hdr[:]...)
+	return m.Skel.Append(buf)
+}
+
+// DecodeMeta deserializes a meta blob produced by Encode.
+func DecodeMeta(buf []byte) (Meta, error) {
+	if len(buf) < 28 {
+		return Meta{}, errors.New("extpst: truncated meta")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return Meta{}, errors.New("extpst: bad meta magic")
+	}
+	m := Meta{
+		Scheme:     Scheme(binary.LittleEndian.Uint32(buf[4:])),
+		N:          int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		BlockPages: int(int32(binary.LittleEndian.Uint32(buf[12:]))),
+		APages:     int(int32(binary.LittleEndian.Uint32(buf[16:]))),
+		SPages:     int(int32(binary.LittleEndian.Uint32(buf[20:]))),
+		SegLen:     int(int32(binary.LittleEndian.Uint32(buf[24:]))),
+	}
+	var err error
+	m.Skel, _, err = skeletal.DecodeMeta(buf[28:])
+	return m, err
+}
+
+// Reopen attaches to a previously built tree persisted on p.
+func Reopen(p disk.Pager, m Meta) (*Tree, error) {
+	switch m.Scheme {
+	case IKO, Basic, Segmented:
+	default:
+		return nil, fmt.Errorf("extpst: scheme %v is not persistable", m.Scheme)
+	}
+	b := disk.ChainCap(p.PageSize(), record.PointSize)
+	if b < 2 {
+		return nil, fmt.Errorf("extpst: page size %d too small", p.PageSize())
+	}
+	if m.Skel.PayloadSize != payloadSize {
+		return nil, fmt.Errorf("extpst: payload size %d, want %d (format drift)", m.Skel.PayloadSize, payloadSize)
+	}
+	t := &Tree{
+		pager:      p,
+		scheme:     m.Scheme,
+		b:          b,
+		n:          m.N,
+		blockPages: m.BlockPages,
+		aPages:     m.APages,
+		sPages:     m.SPages,
+	}
+	t.segLen = segLenFor(b)
+	if m.SegLen > 0 {
+		t.segLen = m.SegLen
+	}
+	skel, err := skeletal.Reopen(p, m.Skel)
+	if err != nil {
+		return nil, err
+	}
+	t.skel = skel
+	return t, nil
+}
+
+// segLenFor is the chunk length used at build time for page capacity b:
+// floor(log2 b), at least 1.
+func segLenFor(b int) int {
+	s := bits.Len(uint(b)) - 1
+	if s < 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package extseg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+	"pathcache/internal/skeletal"
+)
+
+// Meta is the reopen metadata of an external segment tree.
+type Meta struct {
+	Variant    Variant
+	N          int
+	Lo, Hi     int64
+	CoverPages int
+	LocalPages int
+	CachePages int
+	Skel       skeletal.Meta
+}
+
+const metaMagic = uint32(0x73656731) // "seg1"
+
+// Meta returns the tree's reopen metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{
+		Variant:    t.variant,
+		N:          t.n,
+		Lo:         t.lo,
+		Hi:         t.hi,
+		CoverPages: t.coverPages,
+		LocalPages: t.localPages,
+		CachePages: t.cachePages,
+		Skel:       t.skel.Meta(),
+	}
+}
+
+// Encode serializes the meta.
+func (m Meta) Encode() []byte {
+	var hdr [40]byte
+	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Variant))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.N))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(m.Lo))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(m.Hi))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(m.CoverPages))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(m.LocalPages))
+	binary.LittleEndian.PutUint32(hdr[36:], uint32(m.CachePages))
+	return m.Skel.Append(hdr[:])
+}
+
+// DecodeMeta deserializes a meta blob produced by Encode.
+func DecodeMeta(buf []byte) (Meta, error) {
+	if len(buf) < 40 {
+		return Meta{}, errors.New("extseg: truncated meta")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return Meta{}, errors.New("extseg: bad meta magic")
+	}
+	m := Meta{
+		Variant:    Variant(binary.LittleEndian.Uint32(buf[4:])),
+		N:          int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		Lo:         int64(binary.LittleEndian.Uint64(buf[12:])),
+		Hi:         int64(binary.LittleEndian.Uint64(buf[20:])),
+		CoverPages: int(int32(binary.LittleEndian.Uint32(buf[28:]))),
+		LocalPages: int(int32(binary.LittleEndian.Uint32(buf[32:]))),
+		CachePages: int(int32(binary.LittleEndian.Uint32(buf[36:]))),
+	}
+	var err error
+	m.Skel, _, err = skeletal.DecodeMeta(buf[40:])
+	return m, err
+}
+
+// Reopen attaches to a previously built tree persisted on p.
+func Reopen(p disk.Pager, m Meta) (*Tree, error) {
+	b := disk.ChainCap(p.PageSize(), record.IntervalSize)
+	if b < 2 {
+		return nil, fmt.Errorf("extseg: page size %d too small", p.PageSize())
+	}
+	if m.Skel.PayloadSize != payloadSize {
+		return nil, fmt.Errorf("extseg: payload size %d, want %d (format drift)", m.Skel.PayloadSize, payloadSize)
+	}
+	skel, err := skeletal.Reopen(p, m.Skel)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		pager:      p,
+		variant:    m.Variant,
+		skel:       skel,
+		b:          b,
+		lo:         m.Lo,
+		hi:         m.Hi,
+		n:          m.N,
+		coverPages: m.CoverPages,
+		localPages: m.LocalPages,
+		cachePages: m.CachePages,
+	}, nil
+}

@@ -1,0 +1,181 @@
+package extwindow
+
+import (
+	"encoding/binary"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+	"pathcache/internal/skeletal"
+)
+
+// winQuery carries the state of one window query.
+type winQuery struct {
+	t              *Tree
+	x1, x2, y1, y2 int64
+	w              *skeletal.Walker
+	out            []record.Point
+	st             QueryStats
+}
+
+// Query reports every point with x1 <= x <= x2 and y1 <= y <= y2.
+func (t *Tree) Query(x1, x2, y1, y2 int64) ([]record.Point, QueryStats, error) {
+	q := &winQuery{t: t, x1: x1, x2: x2, y1: y1, y2: y2, w: t.skel.NewWalker()}
+	if t.n == 0 || x1 > x2 || y1 > y2 {
+		return nil, q.st, nil
+	}
+	// Fork descent: internal nodes always have two children, so the walk
+	// ends at a leaf or at the first node whose split lies in [x1, x2].
+	fpath, err := q.w.Descend(t.skel.Root(), func(n skeletal.Node) skeletal.Dir {
+		if n.IsLeaf() {
+			return skeletal.Stop
+		}
+		if x2 < n.Key {
+			return skeletal.Left
+		}
+		if x1 > n.Key {
+			return skeletal.Right
+		}
+		return skeletal.Stop
+	})
+	if err != nil {
+		return nil, q.st, err
+	}
+	q.st.PathPages = q.w.PagesLoaded()
+	fork := fpath[len(fpath)-1]
+
+	if fork.IsLeaf() {
+		if err := q.scanFiltered(fork.Payload); err != nil {
+			return nil, q.st, err
+		}
+		q.st.Results = len(q.out)
+		return q.out, q.st, nil
+	}
+	// Left path toward x1: right children hanging off left turns are
+	// canonical (their x-span lies inside [x1, x2]).
+	if err := q.sidePath(fork.Left, true); err != nil {
+		return nil, q.st, err
+	}
+	// Right path toward x2: mirror.
+	if err := q.sidePath(fork.Right, false); err != nil {
+		return nil, q.st, err
+	}
+	q.st.Results = len(q.out)
+	return q.out, q.st, nil
+}
+
+// sidePath walks one boundary path, reporting canonical subtrees via their
+// y-lists and the terminal leaf via a filtered scan.
+func (q *winQuery) sidePath(ref skeletal.NodeRef, leftSide bool) error {
+	for ref.Valid() {
+		n, err := q.w.Node(ref)
+		if err != nil {
+			return err
+		}
+		payload := append([]byte(nil), n.Payload...)
+		left, right, key, isLeaf := n.Left, n.Right, n.Key, n.IsLeaf()
+		if isLeaf {
+			return q.scanFiltered(payload)
+		}
+		if leftSide {
+			if q.x1 > key {
+				ref = right
+				continue
+			}
+			// Going left: the right child is canonical.
+			if err := q.scanCanonical(right); err != nil {
+				return err
+			}
+			ref = left
+		} else {
+			if q.x2 < key {
+				ref = left
+				continue
+			}
+			// Going right: the left child is canonical.
+			if err := q.scanCanonical(left); err != nil {
+				return err
+			}
+			ref = right
+		}
+	}
+	return nil
+}
+
+// scanCanonical reports the [y1, y2] slice of a canonical subtree's y-list,
+// entering at the directory-located page.
+func (q *winQuery) scanCanonical(ref skeletal.NodeRef) error {
+	n, err := q.w.Node(ref)
+	if err != nil {
+		return err
+	}
+	head, count := plYList(n.Payload)
+	dirHead, _ := plDir(n.Payload)
+	if count == 0 {
+		return nil
+	}
+	// Locate the last page whose first y is <= y1; start there.
+	start := head
+	pages, err := disk.ScanChain(q.t.pager, dirRecSize, dirHead, func(rec []byte) bool {
+		page := disk.PageID(binary.LittleEndian.Uint64(rec[0:]))
+		firstY := int64(binary.LittleEndian.Uint64(rec[8:]))
+		if firstY > q.y1 {
+			return false
+		}
+		start = page
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	q.st.ListPages += pages
+
+	matched := 0
+	pages, err = disk.ScanChain(q.t.pager, record.PointSize, start, func(rec []byte) bool {
+		p := record.DecodePoint(rec)
+		if p.Y > q.y2 {
+			return false
+		}
+		if p.Y >= q.y1 && p.X >= q.x1 && p.X <= q.x2 {
+			q.out = append(q.out, p)
+			matched++
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	q.account(pages, matched)
+	return nil
+}
+
+// scanFiltered reads a boundary leaf's full list with both filters.
+func (q *winQuery) scanFiltered(payload []byte) error {
+	head, count := plYList(payload)
+	if count == 0 {
+		return nil
+	}
+	matched := 0
+	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
+		p := record.DecodePoint(rec)
+		if p.Y > q.y2 {
+			return false
+		}
+		if p.Y >= q.y1 && p.X >= q.x1 && p.X <= q.x2 {
+			q.out = append(q.out, p)
+			matched++
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	q.account(pages, matched)
+	return nil
+}
+
+func (q *winQuery) account(pages, matched int) {
+	q.st.ListPages += pages
+	full := matched / q.t.b
+	q.st.UsefulIOs += full
+	q.st.WastefulIOs += pages - full
+}

@@ -1,0 +1,104 @@
+// Package pstcore holds the in-memory priority-search-tree construction
+// shared by the external 2-sided (extpst) and 3-sided (ext3side)
+// structures: each node keeps its subtree's top-B points by y and splits the
+// remainder at the x-median, exactly the [IKO] decomposition of Figure 4.
+package pstcore
+
+import (
+	"sort"
+
+	"pathcache/internal/record"
+)
+
+// MemNode is one node of the in-memory PST used during construction.
+type MemNode struct {
+	Pts         []record.Point // top-B by y, stored y-descending
+	Split       int64          // x-median of the remaining points
+	SplitPt     record.Point   // full split point: Left holds exactly the points Less than it
+	MinY        int64          // minimum y among Pts
+	Left, Right *MemNode
+}
+
+// Build builds the PST over points sorted ascending by (X, Y, ID). Each node
+// holds at most b points; children exist only when more than b points remain.
+func Build(sorted []record.Point, b int) *MemNode {
+	if len(sorted) == 0 {
+		return nil
+	}
+	n := &MemNode{}
+	if len(sorted) <= b {
+		n.Pts = append([]record.Point(nil), sorted...)
+		SortByYDesc(n.Pts)
+		n.MinY = n.Pts[len(n.Pts)-1].Y
+		n.Split = sorted[len(sorted)/2].X
+		n.SplitPt = sorted[len(sorted)/2]
+		return n
+	}
+	// Deterministic top-b selection by (y desc, then point order).
+	idx := make([]int, len(sorted))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		pi, pj := sorted[idx[i]], sorted[idx[j]]
+		if pi.Y != pj.Y {
+			return pi.Y > pj.Y
+		}
+		return pi.Less(pj)
+	})
+	taken := make(map[int]bool, b)
+	for _, i := range idx[:b] {
+		taken[i] = true
+	}
+	rest := make([]record.Point, 0, len(sorted)-b)
+	for i, p := range sorted {
+		if taken[i] {
+			n.Pts = append(n.Pts, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	SortByYDesc(n.Pts)
+	n.MinY = n.Pts[len(n.Pts)-1].Y
+	mid := len(rest) / 2
+	n.Split = rest[mid].X
+	n.SplitPt = rest[mid]
+	n.Left = Build(rest[:mid], b)
+	n.Right = Build(rest[mid:], b)
+	return n
+}
+
+// SortAsc sorts points ascending by (X, Y, ID), the order Build expects.
+func SortAsc(pts []record.Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Less(pts[j]) })
+}
+
+// SortByYDesc sorts points by decreasing y, ties by ascending point order.
+func SortByYDesc(pts []record.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y > pts[j].Y
+		}
+		return pts[i].Less(pts[j])
+	})
+}
+
+// SortByXDesc sorts points by decreasing x, ties by ascending point order.
+func SortByXDesc(pts []record.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X > pts[j].X
+		}
+		return pts[i].Less(pts[j])
+	})
+}
+
+// SortByXAsc sorts points by increasing x, ties by ascending point order.
+func SortByXAsc(pts []record.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Less(pts[j])
+	})
+}

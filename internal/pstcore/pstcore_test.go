@@ -1,0 +1,160 @@
+package pstcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathcache/internal/record"
+)
+
+func randomPoints(n int, seed int64) []record.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]record.Point, n)
+	for i := range pts {
+		pts[i] = record.Point{X: rng.Int63n(1000), Y: rng.Int63n(1000), ID: uint64(i + 1)}
+	}
+	return pts
+}
+
+// checkInvariants verifies the PST structure: node capacity, heap order on
+// y, x-partition by the split point, and that every input point appears
+// exactly once.
+func checkInvariants(t *testing.T, root *MemNode, b int, want int) {
+	t.Helper()
+	seen := map[record.Point]bool{}
+	var walk func(n *MemNode, maxY int64)
+	walk = func(n *MemNode, maxY int64) {
+		if n == nil {
+			return
+		}
+		if len(n.Pts) == 0 {
+			t.Fatal("node with no points")
+		}
+		if len(n.Pts) > b {
+			t.Fatalf("node holds %d > b=%d points", len(n.Pts), b)
+		}
+		for i, p := range n.Pts {
+			if p.Y > maxY {
+				t.Fatalf("heap violation: point %v above parent min %d", p, maxY)
+			}
+			if i > 0 && n.Pts[i-1].Y < p.Y {
+				t.Fatalf("node points not y-descending at %d", i)
+			}
+			if seen[p] {
+				t.Fatalf("point %v duplicated", p)
+			}
+			seen[p] = true
+		}
+		if n.MinY != n.Pts[len(n.Pts)-1].Y {
+			t.Fatalf("MinY %d != last point y %d", n.MinY, n.Pts[len(n.Pts)-1].Y)
+		}
+		if (n.Left != nil || n.Right != nil) && len(n.Pts) != b {
+			t.Fatal("internal node not full")
+		}
+		// x-partition: left subtree strictly Less than SplitPt, right not.
+		var assert func(c *MemNode, left bool)
+		assert = func(c *MemNode, left bool) {
+			if c == nil {
+				return
+			}
+			for _, p := range c.Pts {
+				if left != p.Less(n.SplitPt) {
+					t.Fatalf("partition violation: %v left=%v split=%v", p, left, n.SplitPt)
+				}
+			}
+			assert(c.Left, left)
+			assert(c.Right, left)
+		}
+		assert(n.Left, true)
+		assert(n.Right, false)
+		walk(n.Left, n.MinY)
+		walk(n.Right, n.MinY)
+	}
+	walk(root, int64(1)<<62)
+	if len(seen) != want {
+		t.Fatalf("tree holds %d points, want %d", len(seen), want)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if Build(nil, 4) != nil {
+		t.Fatal("empty build returned a node")
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 50, 500} {
+		for _, b := range []int{2, 4, 16} {
+			pts := randomPoints(n, int64(n*b))
+			SortAsc(pts)
+			root := Build(pts, b)
+			checkInvariants(t, root, b, n)
+		}
+	}
+}
+
+func TestBuildDuplicateCoordinates(t *testing.T) {
+	var pts []record.Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, record.Point{X: int64(i % 3), Y: int64(i % 2), ID: uint64(i + 1)})
+	}
+	SortAsc(pts)
+	root := Build(pts, 8)
+	checkInvariants(t, root, 8, 200)
+}
+
+func TestBuildProperty(t *testing.T) {
+	f := func(raw []struct{ X, Y uint8 }) bool {
+		pts := make([]record.Point, len(raw))
+		for i, r := range raw {
+			pts[i] = record.Point{X: int64(r.X), Y: int64(r.Y), ID: uint64(i + 1)}
+		}
+		SortAsc(pts)
+		root := Build(pts, 4)
+		// Count points.
+		count := 0
+		var walk func(n *MemNode)
+		walk = func(n *MemNode) {
+			if n == nil {
+				return
+			}
+			count += len(n.Pts)
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(root)
+		return count == len(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	pts := randomPoints(100, 9)
+	SortByYDesc(pts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Y < pts[i].Y {
+			t.Fatal("SortByYDesc not descending")
+		}
+	}
+	SortByXDesc(pts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X < pts[i].X {
+			t.Fatal("SortByXDesc not descending")
+		}
+	}
+	SortByXAsc(pts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X > pts[i].X {
+			t.Fatal("SortByXAsc not ascending")
+		}
+	}
+	SortAsc(pts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Less(pts[i-1]) {
+			t.Fatal("SortAsc not ascending")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package record defines the fixed-width binary encodings shared by every
+// external structure in this repository: planar points and 1-dimensional
+// intervals, each carrying an opaque 64-bit tuple identifier.
+//
+// Records are fixed width so that the page capacity B — the central parameter
+// of the paper's I/O model — is a simple function of the page size:
+// B = ChainCap(pageSize, record size). Coordinates are encoded
+// order-preservingly so records can be compared in serialized form.
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PointSize is the encoded size of a Point in bytes.
+const PointSize = 24
+
+// IntervalSize is the encoded size of an Interval in bytes.
+const IntervalSize = 24
+
+// Point is a point in the plane with an attached tuple identifier. X and Y
+// are the two attributes being indexed (for interval management, X=lo and
+// Y=hi after the diagonal-corner reduction).
+type Point struct {
+	X, Y int64
+	ID   uint64
+}
+
+// Encode writes p into buf, which must be at least PointSize bytes.
+func (p Point) Encode(buf []byte) {
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.X))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(p.Y))
+	binary.LittleEndian.PutUint64(buf[16:24], p.ID)
+}
+
+// DecodePoint reads a Point from buf.
+func DecodePoint(buf []byte) Point {
+	return Point{
+		X:  int64(binary.LittleEndian.Uint64(buf[0:8])),
+		Y:  int64(binary.LittleEndian.Uint64(buf[8:16])),
+		ID: binary.LittleEndian.Uint64(buf[16:24]),
+	}
+}
+
+// EncodePoints flattens pts into a new byte slice, PointSize bytes each.
+func EncodePoints(pts []Point) []byte {
+	out := make([]byte, len(pts)*PointSize)
+	for i, p := range pts {
+		p.Encode(out[i*PointSize:])
+	}
+	return out
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)#%d", p.X, p.Y, p.ID) }
+
+// Less orders points by (X, Y, ID); a strict total order used for
+// deterministic builds.
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.ID < q.ID
+}
+
+// Interval is a closed 1-dimensional interval [Lo, Hi] with an attached
+// tuple identifier.
+type Interval struct {
+	Lo, Hi int64
+	ID     uint64
+}
+
+// Valid reports whether the interval is non-empty (Lo <= Hi).
+func (iv Interval) Valid() bool { return iv.Lo <= iv.Hi }
+
+// Contains reports whether q stabs the interval.
+func (iv Interval) Contains(q int64) bool { return iv.Lo <= q && q <= iv.Hi }
+
+// Encode writes iv into buf, which must be at least IntervalSize bytes.
+func (iv Interval) Encode(buf []byte) {
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(iv.Lo))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(iv.Hi))
+	binary.LittleEndian.PutUint64(buf[16:24], iv.ID)
+}
+
+// DecodeInterval reads an Interval from buf.
+func DecodeInterval(buf []byte) Interval {
+	return Interval{
+		Lo: int64(binary.LittleEndian.Uint64(buf[0:8])),
+		Hi: int64(binary.LittleEndian.Uint64(buf[8:16])),
+		ID: binary.LittleEndian.Uint64(buf[16:24]),
+	}
+}
+
+// EncodeIntervals flattens ivs into a new byte slice, IntervalSize bytes each.
+func EncodeIntervals(ivs []Interval) []byte {
+	out := make([]byte, len(ivs)*IntervalSize)
+	for i, iv := range ivs {
+		iv.Encode(out[i*IntervalSize:])
+	}
+	return out
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]#%d", iv.Lo, iv.Hi, iv.ID) }
+
+// ToPoint applies the diagonal-corner reduction of [KRV] used throughout the
+// paper: interval [lo,hi] becomes the point (lo, hi) above the x=y diagonal.
+// A stabbing query at q then becomes the 2-sided query {x <= q, y >= q}.
+func (iv Interval) ToPoint() Point { return Point{X: iv.Lo, Y: iv.Hi, ID: iv.ID} }
+
+// FromPoint inverts ToPoint.
+func FromPoint(p Point) Interval { return Interval{Lo: p.X, Hi: p.Y, ID: p.ID} }

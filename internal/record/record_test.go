@@ -1,0 +1,118 @@
+package record
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointRoundTrip(t *testing.T) {
+	cases := []Point{
+		{},
+		{X: 1, Y: 2, ID: 3},
+		{X: -5, Y: -9, ID: 0},
+		{X: 1<<62 - 1, Y: -(1 << 62), ID: ^uint64(0)},
+	}
+	buf := make([]byte, PointSize)
+	for _, p := range cases {
+		p.Encode(buf)
+		if got := DecodePoint(buf); got != p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+}
+
+func TestPointRoundTripProperty(t *testing.T) {
+	f := func(x, y int64, id uint64) bool {
+		p := Point{X: x, Y: y, ID: id}
+		buf := make([]byte, PointSize)
+		p.Encode(buf)
+		return DecodePoint(buf) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalRoundTripProperty(t *testing.T) {
+	f := func(lo, hi int64, id uint64) bool {
+		iv := Interval{Lo: lo, Hi: hi, ID: id}
+		buf := make([]byte, IntervalSize)
+		iv.Encode(buf)
+		return DecodeInterval(buf) == iv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePoints(t *testing.T) {
+	pts := []Point{{X: 1, Y: 2, ID: 3}, {X: -4, Y: 5, ID: 6}}
+	raw := EncodePoints(pts)
+	if len(raw) != 2*PointSize {
+		t.Fatalf("len = %d", len(raw))
+	}
+	for i, want := range pts {
+		if got := DecodePoint(raw[i*PointSize:]); got != want {
+			t.Errorf("point %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestEncodeIntervals(t *testing.T) {
+	ivs := []Interval{{Lo: 1, Hi: 9, ID: 3}, {Lo: -4, Hi: 5, ID: 6}}
+	raw := EncodeIntervals(ivs)
+	if len(raw) != 2*IntervalSize {
+		t.Fatalf("len = %d", len(raw))
+	}
+	for i, want := range ivs {
+		if got := DecodeInterval(raw[i*IntervalSize:]); got != want {
+			t.Errorf("interval %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 10, Hi: 20}
+	for q, want := range map[int64]bool{9: false, 10: true, 15: true, 20: true, 21: false} {
+		if got := iv.Contains(q); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", q, got, want)
+		}
+	}
+	if !iv.Valid() || (Interval{Lo: 5, Hi: 4}).Valid() {
+		t.Error("Valid misclassified")
+	}
+}
+
+func TestPointLessTotalOrder(t *testing.T) {
+	a := Point{X: 1, Y: 2, ID: 3}
+	b := Point{X: 1, Y: 2, ID: 4}
+	c := Point{X: 1, Y: 3, ID: 0}
+	d := Point{X: 2, Y: 0, ID: 0}
+	ordered := []Point{a, b, c, d}
+	for i := range ordered {
+		for j := range ordered {
+			want := i < j
+			if got := ordered[i].Less(ordered[j]); got != want {
+				t.Errorf("Less(%v,%v) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+// Property: the diagonal-corner reduction is exact — a point stabs the
+// interval iff the reduced point satisfies the 2-sided query {x<=q, y>=q}.
+func TestDiagonalCornerReductionProperty(t *testing.T) {
+	f := func(lo, hi, q int64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := Interval{Lo: lo, Hi: hi, ID: 1}
+		p := iv.ToPoint()
+		stab := iv.Contains(q)
+		twoSided := p.X <= q && p.Y >= q
+		return stab == twoSided && FromPoint(p) == iv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,439 @@
+// Package skeletal implements the skeletal B-tree of Section 2 of the paper
+// (Figure 2): a static binary search tree whose nodes are packed into disk
+// pages so that each page holds a subtree of height Θ(log B). Descending a
+// root-to-leaf path of the binary tree then costs O(log_B n) page reads
+// instead of O(log n).
+//
+// Every external structure in this repository (segment tree, priority search
+// trees, interval tree) stores its binary tree through this package. Each
+// binary node carries a caller-defined fixed-width payload: page references
+// to cover-lists, top-B point blocks, caches, and so on.
+package skeletal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"pathcache/internal/disk"
+)
+
+// BuildNode is an in-memory binary tree node handed to Build. Key is the
+// routing key (semantics are up to the caller: an x-coordinate separator for
+// priority search trees, an endpoint for segment trees). Payload must be
+// exactly the payload size passed to Build.
+type BuildNode struct {
+	Key     int64
+	Payload []byte
+	Left    *BuildNode
+	Right   *BuildNode
+}
+
+// NodeRef addresses a node: the page it lives in and its index within the
+// page. The zero NodeRef is not nil; use NilRef.
+type NodeRef struct {
+	Page disk.PageID
+	Idx  uint16
+}
+
+// NilRef is the absent-child reference.
+var NilRef = NodeRef{Page: disk.InvalidPage}
+
+// Valid reports whether the reference addresses a node.
+func (r NodeRef) Valid() bool { return r.Page != disk.InvalidPage }
+
+func (r NodeRef) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Idx) }
+
+// Node is a decoded node. Payload aliases the page buffer of the View it was
+// read from; callers that retain it across page loads must copy it.
+type Node struct {
+	Ref     NodeRef
+	Key     int64
+	Left    NodeRef
+	Right   NodeRef
+	Payload []byte
+}
+
+// IsLeaf reports whether the node has no children.
+func (n Node) IsLeaf() bool { return !n.Left.Valid() && !n.Right.Valid() }
+
+// Fixed per-entry overhead: key(8) + left page(8) + left idx(2) +
+// right page(8) + right idx(2).
+const entryOverhead = 28
+
+// Page header: node count.
+const pageHeader = 2
+
+// Tree is a skeletal tree persisted to a pager.
+type Tree struct {
+	pager       disk.Pager
+	payloadSize int
+	entrySize   int
+	pageCap     int // max nodes per page
+	subHeight   int // height of the subtree packed per page
+	root        NodeRef
+	numNodes    int
+	numPages    int
+	height      int // height of the logical binary tree (edges on longest path)
+	pages       []disk.PageID
+}
+
+// Build persists the binary tree rooted at root, packing height-subHeight
+// subtrees into pages. payloadSize is the fixed width of every node payload.
+func Build(p disk.Pager, root *BuildNode, payloadSize int) (*Tree, error) {
+	if payloadSize < 0 {
+		return nil, errors.New("skeletal: negative payload size")
+	}
+	entry := entryOverhead + payloadSize
+	cap := (p.PageSize() - pageHeader) / entry
+	if cap < 1 {
+		return nil, fmt.Errorf("skeletal: payload %d too large for page %d", payloadSize, p.PageSize())
+	}
+	// Largest h with 2^h - 1 <= cap: a full binary subtree of height h fits.
+	h := bits.Len(uint(cap+1)) - 1
+	t := &Tree{
+		pager:       p,
+		payloadSize: payloadSize,
+		entrySize:   entry,
+		pageCap:     (1 << h) - 1,
+		subHeight:   h,
+	}
+	if root == nil {
+		t.root = NilRef
+		return t, nil
+	}
+	ref, err := t.writeSub(root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = ref
+	t.height = measureHeight(root)
+	return t, nil
+}
+
+func measureHeight(n *BuildNode) int {
+	if n == nil {
+		return -1
+	}
+	l, r := measureHeight(n.Left), measureHeight(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// writeSub packs the top height-subHeight levels of the subtree rooted at n
+// into one page, recursing for the frontier children, and returns n's ref.
+func (t *Tree) writeSub(n *BuildNode) (NodeRef, error) {
+	page, err := t.pager.Alloc()
+	if err != nil {
+		return NilRef, err
+	}
+	t.numPages++
+	t.pages = append(t.pages, page)
+
+	// BFS-collect up to subHeight levels.
+	type qent struct {
+		n     *BuildNode
+		depth int
+	}
+	var nodes []*BuildNode
+	idxOf := make(map[*BuildNode]uint16)
+	queue := []qent{{n, 0}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		idxOf[e.n] = uint16(len(nodes))
+		nodes = append(nodes, e.n)
+		if e.depth+1 < t.subHeight {
+			if e.n.Left != nil {
+				queue = append(queue, qent{e.n.Left, e.depth + 1})
+			}
+			if e.n.Right != nil {
+				queue = append(queue, qent{e.n.Right, e.depth + 1})
+			}
+		}
+	}
+	if len(nodes) > t.pageCap {
+		return NilRef, fmt.Errorf("skeletal: internal error: %d nodes > page cap %d", len(nodes), t.pageCap)
+	}
+
+	childRef := func(c *BuildNode) (NodeRef, error) {
+		if c == nil {
+			return NilRef, nil
+		}
+		if idx, ok := idxOf[c]; ok {
+			return NodeRef{Page: page, Idx: idx}, nil
+		}
+		return t.writeSub(c)
+	}
+
+	buf := make([]byte, t.pager.PageSize())
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(nodes)))
+	for i, bn := range nodes {
+		if len(bn.Payload) != t.payloadSize {
+			return NilRef, fmt.Errorf("skeletal: node payload %d bytes, want %d", len(bn.Payload), t.payloadSize)
+		}
+		l, err := childRef(bn.Left)
+		if err != nil {
+			return NilRef, err
+		}
+		r, err := childRef(bn.Right)
+		if err != nil {
+			return NilRef, err
+		}
+		off := pageHeader + i*t.entrySize
+		binary.LittleEndian.PutUint64(buf[off:], uint64(bn.Key))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(l.Page))
+		binary.LittleEndian.PutUint16(buf[off+16:], l.Idx)
+		binary.LittleEndian.PutUint64(buf[off+18:], uint64(r.Page))
+		binary.LittleEndian.PutUint16(buf[off+26:], r.Idx)
+		copy(buf[off+entryOverhead:off+t.entrySize], bn.Payload)
+	}
+	if err := t.pager.Write(page, buf); err != nil {
+		return NilRef, err
+	}
+	t.numNodes += len(nodes)
+	return NodeRef{Page: page, Idx: 0}, nil
+}
+
+// Root returns the root reference (NilRef for an empty tree).
+func (t *Tree) Root() NodeRef { return t.root }
+
+// NumNodes reports the number of binary nodes.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// NumPages reports the number of pages occupied by the skeleton itself.
+func (t *Tree) NumPages() int { return t.numPages }
+
+// Height reports the height (longest root-to-leaf edge count) of the logical
+// binary tree.
+func (t *Tree) Height() int { return t.height }
+
+// SubHeight reports the subtree height packed per page (the Θ(log B) of the
+// construction).
+func (t *Tree) SubHeight() int { return t.subHeight }
+
+// PayloadSize reports the fixed node payload width.
+func (t *Tree) PayloadSize() int { return t.payloadSize }
+
+// Meta is the handful of values needed to reopen a persisted skeletal tree.
+type Meta struct {
+	Root        NodeRef
+	PayloadSize int
+	SubHeight   int
+	NumNodes    int
+	NumPages    int
+	Height      int
+}
+
+// Meta returns the tree's reopen metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{
+		Root:        t.root,
+		PayloadSize: t.payloadSize,
+		SubHeight:   t.subHeight,
+		NumNodes:    t.numNodes,
+		NumPages:    t.numPages,
+		Height:      t.height,
+	}
+}
+
+// metaSize is the encoded size of Meta.
+const metaSize = 8 + 2 + 5*4
+
+// Append serializes the meta after buf.
+func (m Meta) Append(buf []byte) []byte {
+	var tmp [metaSize]byte
+	binary.LittleEndian.PutUint64(tmp[0:], uint64(m.Root.Page))
+	binary.LittleEndian.PutUint16(tmp[8:], m.Root.Idx)
+	binary.LittleEndian.PutUint32(tmp[10:], uint32(m.PayloadSize))
+	binary.LittleEndian.PutUint32(tmp[14:], uint32(m.SubHeight))
+	binary.LittleEndian.PutUint32(tmp[18:], uint32(m.NumNodes))
+	binary.LittleEndian.PutUint32(tmp[22:], uint32(m.NumPages))
+	binary.LittleEndian.PutUint32(tmp[26:], uint32(m.Height))
+	return append(buf, tmp[:]...)
+}
+
+// DecodeMeta reads a Meta from the front of buf, returning the remainder.
+func DecodeMeta(buf []byte) (Meta, []byte, error) {
+	if len(buf) < metaSize {
+		return Meta{}, nil, errors.New("skeletal: truncated meta")
+	}
+	m := Meta{
+		Root: NodeRef{
+			Page: disk.PageID(binary.LittleEndian.Uint64(buf[0:])),
+			Idx:  binary.LittleEndian.Uint16(buf[8:]),
+		},
+		PayloadSize: int(int32(binary.LittleEndian.Uint32(buf[10:]))),
+		SubHeight:   int(int32(binary.LittleEndian.Uint32(buf[14:]))),
+		NumNodes:    int(int32(binary.LittleEndian.Uint32(buf[18:]))),
+		NumPages:    int(int32(binary.LittleEndian.Uint32(buf[22:]))),
+		Height:      int(int32(binary.LittleEndian.Uint32(buf[26:]))),
+	}
+	return m, buf[metaSize:], nil
+}
+
+// Reopen attaches to a previously persisted skeletal tree. The reopened
+// tree supports all read operations; Free is not supported (the page list
+// is not reconstructed).
+func Reopen(p disk.Pager, m Meta) (*Tree, error) {
+	if m.PayloadSize < 0 {
+		return nil, errors.New("skeletal: negative payload size in meta")
+	}
+	entry := entryOverhead + m.PayloadSize
+	if (p.PageSize()-pageHeader)/entry < 1 {
+		return nil, fmt.Errorf("skeletal: payload %d too large for page %d", m.PayloadSize, p.PageSize())
+	}
+	return &Tree{
+		pager:       p,
+		payloadSize: m.PayloadSize,
+		entrySize:   entry,
+		pageCap:     (1 << m.SubHeight) - 1,
+		subHeight:   m.SubHeight,
+		root:        m.Root,
+		numNodes:    m.NumNodes,
+		numPages:    m.NumPages,
+		height:      m.Height,
+	}, nil
+}
+
+// Free releases every page of the skeleton. The tree must not be used
+// afterwards. Node payload chains are the caller's to free first.
+func (t *Tree) Free() error {
+	for _, id := range t.pages {
+		if err := t.pager.Free(id); err != nil {
+			return err
+		}
+	}
+	t.pages = nil
+	t.root = NilRef
+	t.numPages = 0
+	return nil
+}
+
+// View is one page read into memory. Navigating nodes inside a View is free;
+// only loading the View costs an I/O.
+type View struct {
+	t    *Tree
+	page disk.PageID
+	buf  []byte
+}
+
+// LoadPage reads one page (one I/O) and returns a View over it.
+func (t *Tree) LoadPage(id disk.PageID) (*View, error) {
+	buf := make([]byte, t.pager.PageSize())
+	if err := t.pager.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return &View{t: t, page: id, buf: buf}, nil
+}
+
+// Page reports which page this view holds.
+func (v *View) Page() disk.PageID { return v.page }
+
+// Node decodes the node at idx. The payload aliases the view's buffer.
+func (v *View) Node(idx uint16) (Node, error) {
+	n := int(binary.LittleEndian.Uint16(v.buf[0:2]))
+	if int(idx) >= n {
+		return Node{}, fmt.Errorf("skeletal: node %d out of range (page %d has %d)", idx, v.page, n)
+	}
+	off := pageHeader + int(idx)*v.t.entrySize
+	return Node{
+		Ref: NodeRef{Page: v.page, Idx: idx},
+		Key: int64(binary.LittleEndian.Uint64(v.buf[off:])),
+		Left: NodeRef{
+			Page: disk.PageID(binary.LittleEndian.Uint64(v.buf[off+8:])),
+			Idx:  binary.LittleEndian.Uint16(v.buf[off+16:]),
+		},
+		Right: NodeRef{
+			Page: disk.PageID(binary.LittleEndian.Uint64(v.buf[off+18:])),
+			Idx:  binary.LittleEndian.Uint16(v.buf[off+26:]),
+		},
+		Payload: v.buf[off+entryOverhead : off+v.t.entrySize],
+	}, nil
+}
+
+// Walker navigates the tree during one logical operation (one query), caching
+// every page it has loaded so far. This models the standard working-memory
+// assumption of the I/O model: a query holds the O(log_B n) pages of its
+// search path in memory and never pays twice for the same page. Page reads
+// are counted by the underlying pager.
+type Walker struct {
+	t     *Tree
+	views map[disk.PageID]*View
+}
+
+// NewWalker starts a fresh walker with an empty page cache.
+func (t *Tree) NewWalker() *Walker {
+	return &Walker{t: t, views: make(map[disk.PageID]*View, 8)}
+}
+
+// Node loads the node addressed by ref, reading its page only if this walker
+// has not seen it yet.
+func (w *Walker) Node(ref NodeRef) (Node, error) {
+	if !ref.Valid() {
+		return Node{}, errors.New("skeletal: walk to nil reference")
+	}
+	v, ok := w.views[ref.Page]
+	if !ok {
+		var err error
+		v, err = w.t.LoadPage(ref.Page)
+		if err != nil {
+			return Node{}, err
+		}
+		w.views[ref.Page] = v
+	}
+	return v.Node(ref.Idx)
+}
+
+// PagesLoaded reports how many distinct pages the walker has read.
+func (w *Walker) PagesLoaded() int { return len(w.views) }
+
+// Dir is a descent decision.
+type Dir int
+
+// Descent decisions returned by a chooser.
+const (
+	Stop Dir = iota
+	Left
+	Right
+)
+
+// Descend walks from the root, calling choose at each node to pick a
+// direction, and returns the visited path (payloads copied, safe to retain).
+// The walk stops when choose returns Stop, or when the chosen child is
+// absent. The I/O cost is one read per distinct page on the path:
+// O(log_B n).
+func (t *Tree) Descend(choose func(n Node) Dir) ([]Node, error) {
+	if !t.root.Valid() {
+		return nil, nil
+	}
+	return t.NewWalker().Descend(t.root, choose)
+}
+
+// Descend walks from ref using this walker's page cache, so a query that
+// continues navigating after the descent does not pay again for path pages.
+// Semantics match Tree.Descend.
+func (w *Walker) Descend(ref NodeRef, choose func(n Node) Dir) ([]Node, error) {
+	var path []Node
+	for ref.Valid() {
+		n, err := w.Node(ref)
+		if err != nil {
+			return nil, err
+		}
+		cp := n
+		cp.Payload = append([]byte(nil), n.Payload...)
+		path = append(path, cp)
+		switch choose(cp) {
+		case Left:
+			ref = n.Left
+		case Right:
+			ref = n.Right
+		default:
+			return path, nil
+		}
+	}
+	return path, nil
+}

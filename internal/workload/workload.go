@@ -1,0 +1,193 @@
+// Package workload generates the deterministic seeded datasets and query
+// mixes used by the test suite and the benchmark harness: uniform, clustered,
+// diagonal-correlated, and Zipf-skewed point sets; uniform and nested
+// interval sets; and query generators with target selectivity.
+//
+// Everything is driven by an explicit seed so every experiment table in
+// EXPERIMENTS.md is reproducible bit-for-bit.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"pathcache/internal/record"
+)
+
+// UniformPoints returns n points uniform in [0,max) x [0,max) with IDs
+// 1..n.
+func UniformPoints(n int, max int64, seed int64) []record.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]record.Point, n)
+	for i := range pts {
+		pts[i] = record.Point{X: rng.Int63n(max), Y: rng.Int63n(max), ID: uint64(i + 1)}
+	}
+	return pts
+}
+
+// ClusteredPoints returns n points drawn from k Gaussian clusters whose
+// centers are uniform in [0,max)^2 and whose standard deviation is spread.
+// Coordinates are clamped to [0,max).
+func ClusteredPoints(n, k int, max, spread int64, seed int64) []record.Point {
+	rng := rand.New(rand.NewSource(seed))
+	type center struct{ x, y int64 }
+	centers := make([]center, k)
+	for i := range centers {
+		centers[i] = center{rng.Int63n(max), rng.Int63n(max)}
+	}
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= max {
+			return max - 1
+		}
+		return v
+	}
+	pts := make([]record.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		pts[i] = record.Point{
+			X:  clamp(c.x + int64(rng.NormFloat64()*float64(spread))),
+			Y:  clamp(c.y + int64(rng.NormFloat64()*float64(spread))),
+			ID: uint64(i + 1),
+		}
+	}
+	return pts
+}
+
+// DiagonalPoints returns n points near the x=y diagonal with vertical offset
+// uniform in [0,width) — the shape interval data takes under the
+// diagonal-corner reduction (y = x + length).
+func DiagonalPoints(n int, max, width int64, seed int64) []record.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]record.Point, n)
+	for i := range pts {
+		x := rng.Int63n(max)
+		pts[i] = record.Point{X: x, Y: x + rng.Int63n(width), ID: uint64(i + 1)}
+	}
+	return pts
+}
+
+// ZipfPoints returns n points with uniform x and Zipf-skewed y in [0,max):
+// most mass near y=0, a heavy tail toward max. Skew s must be > 1.
+func ZipfPoints(n int, max int64, s float64, seed int64) []record.Point {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(max-1))
+	pts := make([]record.Point, n)
+	for i := range pts {
+		pts[i] = record.Point{X: rng.Int63n(max), Y: int64(z.Uint64()), ID: uint64(i + 1)}
+	}
+	return pts
+}
+
+// UniformIntervals returns n intervals with Lo uniform in [0,max) and length
+// uniform in [1,maxLen].
+func UniformIntervals(n int, max, maxLen int64, seed int64) []record.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]record.Interval, n)
+	for i := range ivs {
+		lo := rng.Int63n(max)
+		ivs[i] = record.Interval{Lo: lo, Hi: lo + 1 + rng.Int63n(maxLen), ID: uint64(i + 1)}
+	}
+	return ivs
+}
+
+// NestedIntervals returns n intervals forming deep nests: interval i+1 is
+// contained in interval i with random shrinkage, restarting a nest every
+// depth intervals. Deep nesting maximizes cover-list imbalance in segment
+// trees — the adversarial case for the naive external variant (Figure 3).
+func NestedIntervals(n, depth int, max int64, seed int64) []record.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]record.Interval, 0, n)
+	for len(ivs) < n {
+		lo, hi := int64(0), max
+		for d := 0; d < depth && len(ivs) < n && hi-lo > 4; d++ {
+			ivs = append(ivs, record.Interval{Lo: lo, Hi: hi, ID: uint64(len(ivs) + 1)})
+			span := hi - lo
+			lo += 1 + rng.Int63n(span/4+1)
+			hi -= 1 + rng.Int63n(span/4+1)
+			if lo > hi {
+				break
+			}
+		}
+	}
+	return ivs
+}
+
+// TwoSidedQuery is a query corner for the paper's quadrant {x>=A, y>=B}.
+type TwoSidedQuery struct{ A, B int64 }
+
+// ThreeSidedQuery is {A1 <= x <= A2, y >= B}.
+type ThreeSidedQuery struct{ A1, A2, B int64 }
+
+// TwoSidedQueries returns q query corners over the [0,max)^2 domain chosen
+// so that, on uniform data, each query matches about selectivity*n points
+// (the matched region is a square in the top-right corner).
+func TwoSidedQueries(q int, max int64, selectivity float64, seed int64) []TwoSidedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	// Side fraction of the matched square.
+	side := sqrt(selectivity)
+	base := int64(float64(max) * (1 - side))
+	out := make([]TwoSidedQuery, q)
+	for i := range out {
+		// Jitter the corner a little so queries differ while keeping the
+		// target selectivity on average.
+		jx := rng.Int63n(max/64 + 1)
+		jy := rng.Int63n(max/64 + 1)
+		out[i] = TwoSidedQuery{A: clampTo(base+jx, max), B: clampTo(base+jy, max)}
+	}
+	return out
+}
+
+// ThreeSidedQueries returns q window queries over [0,max)^2 with x-window
+// width widthFrac*max and y cut so that on uniform data each matches about
+// selectivity*n points.
+func ThreeSidedQueries(q int, max int64, widthFrac, selectivity float64, seed int64) []ThreeSidedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	w := int64(float64(max) * widthFrac)
+	if w < 1 {
+		w = 1
+	}
+	// selectivity = widthFrac * (1 - b/max)  =>  b = max*(1 - selectivity/widthFrac)
+	frac := 1 - selectivity/widthFrac
+	if frac < 0 {
+		frac = 0
+	}
+	b := int64(float64(max) * frac)
+	out := make([]ThreeSidedQuery, q)
+	for i := range out {
+		a1 := rng.Int63n(max - w + 1)
+		out[i] = ThreeSidedQuery{A1: a1, A2: a1 + w - 1, B: clampTo(b, max)}
+	}
+	return out
+}
+
+// StabQueries returns q stabbing points uniform in [0,max).
+func StabQueries(q int, max int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, q)
+	for i := range out {
+		out[i] = rng.Int63n(max)
+	}
+	return out
+}
+
+func clampTo(v, max int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= max {
+		return max - 1
+	}
+	return v
+}
+
+// sqrt clamps negative input to zero before taking the square root, so
+// selectivity arithmetic is total.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniformPointsDeterministic(t *testing.T) {
+	a := UniformPoints(100, 1000, 7)
+	b := UniformPoints(100, 1000, 7)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].X < 0 || a[i].X >= 1000 || a[i].Y < 0 || a[i].Y >= 1000 {
+			t.Fatalf("point %v out of domain", a[i])
+		}
+		if a[i].ID != uint64(i+1) {
+			t.Fatalf("point %d has ID %d", i, a[i].ID)
+		}
+	}
+	c := UniformPoints(100, 1000, 8)
+	same := 0
+	for i := range a {
+		if a[i].X == c[i].X && a[i].Y == c[i].Y {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClusteredPointsInDomain(t *testing.T) {
+	pts := ClusteredPoints(500, 5, 10_000, 300, 3)
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 10_000 || p.Y < 0 || p.Y >= 10_000 {
+			t.Fatalf("point %v out of domain", p)
+		}
+	}
+}
+
+func TestDiagonalPointsAboveDiagonal(t *testing.T) {
+	pts := DiagonalPoints(500, 10_000, 100, 4)
+	for _, p := range pts {
+		if p.Y < p.X || p.Y >= p.X+100 {
+			t.Fatalf("point %v not within diagonal band", p)
+		}
+	}
+}
+
+func TestZipfPointsSkew(t *testing.T) {
+	pts := ZipfPoints(2000, 10_000, 1.5, 5)
+	low := 0
+	for _, p := range pts {
+		if p.Y < 0 || p.Y >= 10_000 {
+			t.Fatalf("point %v out of domain", p)
+		}
+		if p.Y < 100 {
+			low++
+		}
+	}
+	// Zipf mass concentrates near zero: well over half in the bottom 1%.
+	if low < len(pts)/2 {
+		t.Fatalf("only %d/%d points in bottom 1%%: not skewed", low, len(pts))
+	}
+}
+
+func TestUniformIntervalsValid(t *testing.T) {
+	ivs := UniformIntervals(300, 1000, 50, 6)
+	for _, iv := range ivs {
+		if !iv.Valid() || iv.Hi-iv.Lo < 1 || iv.Hi-iv.Lo > 50 {
+			t.Fatalf("bad interval %v", iv)
+		}
+	}
+}
+
+func TestNestedIntervalsNest(t *testing.T) {
+	ivs := NestedIntervals(100, 10, 1_000_000, 7)
+	if len(ivs) != 100 {
+		t.Fatalf("len = %d", len(ivs))
+	}
+	// Within a nest (consecutive intervals until a restart), containment must
+	// hold: each interval contains the next.
+	contained := 0
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i-1].Lo <= ivs[i].Lo && ivs[i].Hi <= ivs[i-1].Hi {
+			contained++
+		}
+	}
+	if contained < len(ivs)/2 {
+		t.Fatalf("only %d/%d consecutive containments: not nested", contained, len(ivs))
+	}
+	for _, iv := range ivs {
+		if !iv.Valid() {
+			t.Fatalf("invalid interval %v", iv)
+		}
+	}
+}
+
+func TestTwoSidedQueriesSelectivity(t *testing.T) {
+	const max = 1 << 20
+	pts := UniformPoints(20_000, max, 11)
+	for _, sel := range []float64{0.001, 0.01, 0.1} {
+		qs := TwoSidedQueries(30, max, sel, 12)
+		total := 0
+		for _, q := range qs {
+			for _, p := range pts {
+				if p.X >= q.A && p.Y >= q.B {
+					total++
+				}
+			}
+		}
+		avg := float64(total) / float64(len(qs)) / float64(len(pts))
+		if avg < sel/4 || avg > sel*4 {
+			t.Errorf("target selectivity %g: measured %g", sel, avg)
+		}
+	}
+}
+
+func TestThreeSidedQueriesSelectivity(t *testing.T) {
+	const max = 1 << 20
+	pts := UniformPoints(20_000, max, 13)
+	qs := ThreeSidedQueries(30, max, 0.25, 0.05, 14)
+	total := 0
+	for _, q := range qs {
+		if q.A1 > q.A2 || q.A1 < 0 || q.A2 >= max {
+			t.Fatalf("bad window %+v", q)
+		}
+		for _, p := range pts {
+			if p.X >= q.A1 && p.X <= q.A2 && p.Y >= q.B {
+				total++
+			}
+		}
+	}
+	avg := float64(total) / float64(len(qs)) / float64(len(pts))
+	if avg < 0.05/4 || avg > 0.05*4 {
+		t.Errorf("target selectivity 0.05: measured %g", avg)
+	}
+}
+
+func TestStabQueriesDomain(t *testing.T) {
+	for _, q := range StabQueries(100, 500, 15) {
+		if q < 0 || q >= 500 {
+			t.Fatalf("stab %d out of domain", q)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package pathcache
+
+import (
+	"fmt"
+	"math"
+
+	"pathcache/internal/extint"
+	"pathcache/internal/extseg"
+	"pathcache/internal/record"
+)
+
+// The diagonal-corner reduction of [KRV], used by both stabbing indexes:
+// interval [lo, hi] becomes the point (-lo, hi), and a stabbing query at q
+// becomes the 2-sided query {x >= -q, y >= q}, since lo <= q <= hi is
+// equivalent to -lo >= -q and hi >= q.
+
+func intervalToPoint(iv Interval) Point { return Point{X: -iv.Lo, Y: iv.Hi, ID: iv.ID} }
+
+func pointToInterval(p Point) Interval { return Interval{Lo: -p.X, Hi: p.Y, ID: p.ID} }
+
+// StabbingIndex answers static stabbing queries ("which intervals contain
+// q?") through the diagonal-corner reduction onto a 2-sided index — the
+// paper's route to dynamic interval management for temporal and constraint
+// databases.
+type StabbingIndex struct {
+	ix *TwoSidedIndex
+}
+
+// NewStabbingIndex builds a static stabbing index over ivs using the given
+// 2-sided scheme. Intervals with Lo = MinInt64 are rejected (the reduction
+// negates Lo).
+func NewStabbingIndex(ivs []Interval, scheme Scheme, opts *Options) (*StabbingIndex, error) {
+	pts := make([]Point, len(ivs))
+	for i, iv := range ivs {
+		if iv.Lo > iv.Hi || iv.Lo == math.MinInt64 {
+			return nil, fmt.Errorf("pathcache: invalid interval [%d,%d]", iv.Lo, iv.Hi)
+		}
+		pts[i] = intervalToPoint(iv)
+	}
+	ix, err := newTwoSidedIndex(pts, scheme, opts, kindStabbing)
+	if err != nil {
+		return nil, err
+	}
+	return &StabbingIndex{ix: ix}, nil
+}
+
+// Stab reports every interval containing q.
+func (si *StabbingIndex) Stab(q int64) ([]Interval, error) {
+	pts, err := si.ix.Query(-q, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Interval, len(pts))
+	for i, p := range pts {
+		out[i] = pointToInterval(p)
+	}
+	return out, nil
+}
+
+// Len reports the number of indexed intervals.
+func (si *StabbingIndex) Len() int { return si.ix.Len() }
+
+// Pages reports the storage footprint in pages.
+func (si *StabbingIndex) Pages() int { return si.ix.Pages() }
+
+// Stats reports the cumulative I/O counters.
+func (si *StabbingIndex) Stats() Stats { return si.ix.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (si *StabbingIndex) ResetStats() { si.ix.ResetStats() }
+
+// DynamicStabbingIndex is fully dynamic interval management (Section 5 via
+// the diagonal-corner reduction): stabbing queries in O(log_B n + t/B) with
+// amortized O(log_B n) inserts and deletes.
+type DynamicStabbingIndex struct {
+	ix *DynamicIndex
+}
+
+// NewDynamicStabbingIndex creates an empty dynamic stabbing index.
+func NewDynamicStabbingIndex(opts *Options) (*DynamicStabbingIndex, error) {
+	ix, err := NewDynamicIndex(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicStabbingIndex{ix: ix}, nil
+}
+
+// Insert adds an interval.
+func (si *DynamicStabbingIndex) Insert(iv Interval) error {
+	if iv.Lo > iv.Hi || iv.Lo == math.MinInt64 {
+		return fmt.Errorf("pathcache: invalid interval [%d,%d]", iv.Lo, iv.Hi)
+	}
+	return si.ix.Insert(intervalToPoint(iv))
+}
+
+// Delete removes an interval previously inserted with the same (Lo, Hi, ID).
+func (si *DynamicStabbingIndex) Delete(iv Interval) error {
+	return si.ix.Delete(intervalToPoint(iv))
+}
+
+// Stab reports every live interval containing q.
+func (si *DynamicStabbingIndex) Stab(q int64) ([]Interval, error) {
+	pts, err := si.ix.Query(-q, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Interval, len(pts))
+	for i, p := range pts {
+		out[i] = pointToInterval(p)
+	}
+	return out, nil
+}
+
+// Len reports the number of live intervals.
+func (si *DynamicStabbingIndex) Len() int { return si.ix.Len() }
+
+// Pages reports the storage footprint in pages.
+func (si *DynamicStabbingIndex) Pages() int { return si.ix.Pages() }
+
+// Stats reports the cumulative I/O counters.
+func (si *DynamicStabbingIndex) Stats() Stats { return si.ix.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (si *DynamicStabbingIndex) ResetStats() { si.ix.ResetStats() }
+
+// SegmentIndex is the external segment tree of Section 2 / Theorem 3.4.
+// With caching enabled, stabbing costs O(log_B n + t/B); the uncached
+// variant is the strawman of Figure 3 and pays one wasteful I/O per
+// underfull cover-list on the path.
+type SegmentIndex struct {
+	be  *backend
+	idx *extseg.Tree
+}
+
+// NewSegmentIndex builds a static segment-tree index over ivs. Intervals
+// must satisfy Lo <= Hi and Hi < MaxInt64.
+func NewSegmentIndex(ivs []Interval, cached bool, opts *Options) (*SegmentIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	v := extseg.Naive
+	if cached {
+		v = extseg.PathCached
+	}
+	idx, err := extseg.Build(be.pager, toRecIntervals(ivs), v)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	if err := be.saveMeta(kindSegment, idx.Meta().Encode()); err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &SegmentIndex{be: be, idx: idx}, nil
+}
+
+// Stab reports every interval containing q.
+func (ix *SegmentIndex) Stab(q int64) ([]Interval, error) {
+	ivs, _, err := ix.StabProfile(q)
+	return ivs, err
+}
+
+// StabProfile is Stab plus the query's I/O profile.
+func (ix *SegmentIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
+	ivs, st, err := ix.idx.Stab(q)
+	if err != nil {
+		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecIntervals(ivs), IOProfile{
+		PathPages:   st.PathPages,
+		ListPages:   st.ListPages,
+		UsefulIOs:   st.UsefulIOs,
+		WastefulIOs: st.WastefulIOs,
+		Results:     st.Results,
+	}, nil
+}
+
+// Len reports the number of indexed intervals.
+func (ix *SegmentIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *SegmentIndex) Pages() int { return ix.idx.TotalPages() }
+
+// Stats reports the cumulative I/O counters.
+func (ix *SegmentIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *SegmentIndex) ResetStats() { ix.be.resetStats() }
+
+// IntervalIndex is the external (restricted) interval tree of Theorem 3.5:
+// optimal stabbing with O((n/B)·log B) pages — a log n / log B factor less
+// storage than the segment tree.
+type IntervalIndex struct {
+	be  *backend
+	idx *extint.Tree
+}
+
+// NewIntervalIndex builds a static interval-tree index over ivs.
+func NewIntervalIndex(ivs []Interval, cached bool, opts *Options) (*IntervalIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	v := extint.Naive
+	if cached {
+		v = extint.PathCached
+	}
+	idx, err := extint.Build(be.pager, toRecIntervals(ivs), v)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	if err := be.saveMeta(kindInterval, idx.Meta().Encode()); err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &IntervalIndex{be: be, idx: idx}, nil
+}
+
+// Stab reports every interval containing q.
+func (ix *IntervalIndex) Stab(q int64) ([]Interval, error) {
+	ivs, _, err := ix.StabProfile(q)
+	return ivs, err
+}
+
+// StabProfile is Stab plus the query's I/O profile.
+func (ix *IntervalIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
+	ivs, st, err := ix.idx.Stab(q)
+	if err != nil {
+		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecIntervals(ivs), IOProfile{
+		PathPages:   st.PathPages,
+		ListPages:   st.ListPages,
+		UsefulIOs:   st.UsefulIOs,
+		WastefulIOs: st.WastefulIOs,
+		Results:     st.Results,
+	}, nil
+}
+
+// Len reports the number of indexed intervals.
+func (ix *IntervalIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *IntervalIndex) Pages() int { return ix.idx.TotalPages() }
+
+// Stats reports the cumulative I/O counters.
+func (ix *IntervalIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *IntervalIndex) ResetStats() { ix.be.resetStats() }
+
+// ensure the record types stay layout-compatible with the public ones.
+var (
+	_ = record.Point(Point{})
+	_ = record.Interval(Interval{})
+)

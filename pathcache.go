@@ -1,0 +1,209 @@
+// Package pathcache is a Go implementation of "Path Caching: A Technique
+// for Optimal External Searching" (Ramaswamy & Subramanian, PODS 1994).
+//
+// Path caching transforms classical main-memory search structures — segment
+// trees, interval trees and priority search trees — into I/O-efficient
+// external ones: the underfull lists along a search path, each of which
+// would cost a wasteful page read, are coalesced into per-path caches so a
+// query performs O(log_B n + t/B) page transfers, where B is the page
+// capacity in records and t the output size.
+//
+// The package offers:
+//
+//   - TwoSidedIndex: static 2-sided range search {x >= a, y >= b} with the
+//     paper's full scheme ladder (the IKO baseline, Lemma 3.1, Theorem 3.2,
+//     and the recursive Theorems 4.3/4.4).
+//   - DynamicIndex: the fully dynamic structure of Theorem 5.1 with
+//     amortized O(log_B n) updates.
+//   - ThreeSidedIndex: 3-sided search {a1 <= x <= a2, y >= b}
+//     (Theorems 3.3/4.5), the primitive behind class-hierarchy indexing.
+//   - StabbingIndex / DynamicStabbingIndex: interval management for
+//     temporal and constraint databases via the diagonal-corner reduction.
+//   - SegmentIndex and IntervalIndex: external segment and interval trees
+//     (Theorems 3.4/3.5), each with a naive uncached variant for
+//     comparison.
+//   - RangeIndex: a B+-tree, the paper's optimal 1-dimensional baseline.
+//
+// All structures run against a simulated disk with exact I/O accounting, so
+// the complexity claims can be observed directly: every index exposes
+// Stats (page transfer counters) and Pages (storage footprint).
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+)
+
+// Point is a point in the plane with an opaque tuple identifier. For
+// interval data under the diagonal-corner reduction, X is the left endpoint
+// and Y the right.
+type Point struct {
+	X, Y int64
+	ID   uint64
+}
+
+// Interval is a closed interval [Lo, Hi] with an opaque tuple identifier.
+type Interval struct {
+	Lo, Hi int64
+	ID     uint64
+}
+
+// Options configures the disk behind an index.
+type Options struct {
+	// PageSize is the disk page size in bytes (default 4096). The page
+	// capacity B follows from it: B = (PageSize - 10) / 24 records.
+	PageSize int
+	// BufferPoolPages, when positive, interposes an LRU buffer pool of that
+	// many frames. Leave zero to measure worst-case (cold) I/O per
+	// operation, which is what the paper's bounds describe.
+	BufferPoolPages int
+	// Path, when set, backs the index with a real file instead of the
+	// in-memory simulator. Static indexes built this way persist: reopen
+	// them with the matching Open function. Call Close when done.
+	Path string
+}
+
+// DefaultPageSize is used when Options.PageSize is zero.
+const DefaultPageSize = 4096
+
+// Stats is a snapshot of the I/O counters of an index's underlying store.
+type Stats struct {
+	Reads  int64 // pages read
+	Writes int64 // pages written
+	Pages  int   // live pages (storage footprint)
+}
+
+// IOProfile describes one query's I/O behaviour using the paper's
+// accounting (Figure 3): a data-page read is useful when it returns a full
+// page of reported records and wasteful otherwise.
+type IOProfile struct {
+	PathPages   int // index/skeleton pages read to locate the search path
+	ListPages   int // data pages read from lists, blocks and caches
+	UsefulIOs   int
+	WastefulIOs int
+	Results     int
+}
+
+// metered is the store interface the backend needs: paging plus counters.
+type metered interface {
+	disk.Pager
+	Stats() disk.Stats
+	NumPages() int
+	ResetStats()
+}
+
+// backend bundles the store every index builds on.
+type backend struct {
+	store metered
+	pager disk.Pager
+	pool  *disk.BufferPool
+	file  *disk.FileStore // non-nil when Options.Path was set
+}
+
+func newBackend(opts *Options) (*backend, error) {
+	ps := DefaultPageSize
+	pool := 0
+	path := ""
+	if opts != nil {
+		if opts.PageSize != 0 {
+			ps = opts.PageSize
+		}
+		pool = opts.BufferPoolPages
+		path = opts.Path
+	}
+	be := &backend{}
+	if path != "" {
+		fs, err := disk.CreateFileStore(path, ps)
+		if err != nil {
+			return nil, fmt.Errorf("pathcache: %w", err)
+		}
+		be.store, be.file = fs, fs
+	} else {
+		store, err := disk.NewStore(ps)
+		if err != nil {
+			return nil, fmt.Errorf("pathcache: %w", err)
+		}
+		be.store = store
+	}
+	be.pager = be.store
+	if pool > 0 {
+		bp, err := disk.NewBufferPool(be.store, pool)
+		if err != nil {
+			return nil, fmt.Errorf("pathcache: %w", err)
+		}
+		be.pager = bp
+		be.pool = bp
+	}
+	return be, nil
+}
+
+func (be *backend) stats() Stats {
+	s := be.store.Stats()
+	return Stats{Reads: s.Reads, Writes: s.Writes, Pages: be.store.NumPages()}
+}
+
+func (be *backend) resetStats() {
+	be.store.ResetStats()
+	if be.pool != nil {
+		be.pool.ResetStats()
+	}
+}
+
+// close flushes and closes a file-backed backend (no-op for in-memory).
+func (be *backend) close() error {
+	if be.pool != nil {
+		if err := be.pool.Flush(); err != nil {
+			return fmt.Errorf("pathcache: %w", err)
+		}
+	}
+	if be.file != nil {
+		if err := be.file.Close(); err != nil {
+			return fmt.Errorf("pathcache: %w", err)
+		}
+	}
+	return nil
+}
+
+// B reports the page capacity in records for the given page size — the B of
+// every bound in the paper.
+func B(pageSize int) int {
+	return disk.ChainCap(pageSize, record.PointSize)
+}
+
+// conversions between public and internal record types.
+
+func toRec(p Point) record.Point { return record.Point(p) }
+
+func toRecPoints(pts []Point) []record.Point {
+	out := make([]record.Point, len(pts))
+	for i, p := range pts {
+		out[i] = record.Point(p)
+	}
+	return out
+}
+
+func fromRecPoints(pts []record.Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point(p)
+	}
+	return out
+}
+
+func toRecIntervals(ivs []Interval) []record.Interval {
+	out := make([]record.Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = record.Interval(iv)
+	}
+	return out
+}
+
+func fromRecIntervals(ivs []record.Interval) []Interval {
+	out := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = Interval(iv)
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package pathcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/ext3side"
+	"pathcache/internal/extint"
+	"pathcache/internal/extpst"
+	"pathcache/internal/extseg"
+)
+
+// Index kinds recorded in the metadata page of a file-backed index.
+const (
+	kindTwoSided  = 1
+	kindThreeSide = 2
+	kindSegment   = 3
+	kindInterval  = 4
+	kindStabbing  = 5
+	kindWindow    = 6
+)
+
+// writeIndexMeta stores the index header in a fresh page recorded in the
+// superblock, then syncs.
+func writeIndexMeta(fs *disk.FileStore, kind byte, blob []byte) error {
+	page := make([]byte, fs.PageSize())
+	if 5+len(blob) > len(page) {
+		return fmt.Errorf("pathcache: index metadata (%d bytes) exceeds one page", len(blob))
+	}
+	page[0] = kind
+	binary.LittleEndian.PutUint32(page[1:5], uint32(len(blob)))
+	copy(page[5:], blob)
+	id, err := fs.Alloc()
+	if err != nil {
+		return err
+	}
+	if err := fs.Write(id, page); err != nil {
+		return err
+	}
+	if err := fs.SetAppHead(id); err != nil {
+		return err
+	}
+	return fs.Sync()
+}
+
+// readIndexMeta loads and validates the index header.
+func readIndexMeta(fs *disk.FileStore, wantKind byte) ([]byte, error) {
+	head := fs.AppHead()
+	if head == disk.InvalidPage {
+		return nil, errors.New("pathcache: file holds no index metadata")
+	}
+	page := make([]byte, fs.PageSize())
+	if err := fs.Read(head, page); err != nil {
+		return nil, err
+	}
+	if page[0] != wantKind {
+		return nil, fmt.Errorf("pathcache: file holds index kind %d, not %d", page[0], wantKind)
+	}
+	n := int(binary.LittleEndian.Uint32(page[1:5]))
+	if 5+n > len(page) {
+		return nil, errors.New("pathcache: corrupt index metadata")
+	}
+	return page[5 : 5+n], nil
+}
+
+// saveMeta persists an index header when the backend is file-backed.
+func (be *backend) saveMeta(kind byte, blob []byte) error {
+	if be.file == nil {
+		return nil // in-memory index: nothing to persist
+	}
+	return writeIndexMeta(be.file, kind, blob)
+}
+
+// openBackend attaches to an existing index file.
+func openBackend(path string) (*backend, error) {
+	fs, err := disk.OpenFileStore(path)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &backend{store: fs, pager: fs, file: fs}, nil
+}
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *TwoSidedIndex) Close() error { return ix.be.close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *ThreeSidedIndex) Close() error { return ix.be.close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *SegmentIndex) Close() error { return ix.be.close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *IntervalIndex) Close() error { return ix.be.close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (si *StabbingIndex) Close() error { return si.ix.Close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *DynamicIndex) Close() error { return ix.be.close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (si *DynamicStabbingIndex) Close() error { return si.ix.Close() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *RangeIndex) Close() error { return ix.be.close() }
+
+// OpenTwoSidedIndex reopens a file-backed 2-sided index built with
+// Options.Path and one of the flat schemes (IKO, Basic, Segmented).
+func OpenTwoSidedIndex(path string) (*TwoSidedIndex, error) {
+	be, err := openBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readIndexMeta(be.file, kindTwoSided)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	return reopenTwoSided(be, blob)
+}
+
+func reopenTwoSided(be *backend, blob []byte) (*TwoSidedIndex, error) {
+	m, err := extpst.DecodeMeta(blob)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extpst.Reopen(be.pager, m)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	var scheme Scheme
+	switch m.Scheme {
+	case extpst.IKO:
+		scheme = SchemeIKO
+	case extpst.Basic:
+		scheme = SchemeBasic
+	default:
+		scheme = SchemeSegmented
+	}
+	return &TwoSidedIndex{be: be, idx: tr, scheme: scheme}, nil
+}
+
+// OpenThreeSidedIndex reopens a file-backed 3-sided index.
+func OpenThreeSidedIndex(path string) (*ThreeSidedIndex, error) {
+	be, err := openBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readIndexMeta(be.file, kindThreeSide)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	m, err := ext3side.DecodeMeta(blob)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := ext3side.Reopen(be.pager, m)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &ThreeSidedIndex{be: be, idx: tr}, nil
+}
+
+// OpenSegmentIndex reopens a file-backed segment-tree index.
+func OpenSegmentIndex(path string) (*SegmentIndex, error) {
+	be, err := openBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readIndexMeta(be.file, kindSegment)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	m, err := extseg.DecodeMeta(blob)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extseg.Reopen(be.pager, m)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &SegmentIndex{be: be, idx: tr}, nil
+}
+
+// OpenIntervalIndex reopens a file-backed interval-tree index.
+func OpenIntervalIndex(path string) (*IntervalIndex, error) {
+	be, err := openBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readIndexMeta(be.file, kindInterval)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	m, err := extint.DecodeMeta(blob)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extint.Reopen(be.pager, m)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &IntervalIndex{be: be, idx: tr}, nil
+}
+
+// OpenStabbingIndex reopens a file-backed static stabbing index.
+func OpenStabbingIndex(path string) (*StabbingIndex, error) {
+	be, err := openBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readIndexMeta(be.file, kindStabbing)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	ix, err := reopenTwoSided(be, blob)
+	if err != nil {
+		return nil, err
+	}
+	return &StabbingIndex{ix: ix}, nil
+}

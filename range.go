@@ -1,0 +1,75 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/btree"
+)
+
+// RangeIndex is an external B+-tree over (key, value) pairs — the paper's
+// optimal 1-dimensional baseline: O(log_B n + t/B) range queries and
+// O(log_B n) updates on O(n/B) pages. Experiment E8 uses it to show why
+// 1-dimensional indexes are inefficient for 2-dimensional queries.
+type RangeIndex struct {
+	be  *backend
+	idx *btree.Tree
+}
+
+// NewRangeIndex creates an empty B+-tree index.
+func NewRangeIndex(opts *Options) (*RangeIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := btree.New(be.pager)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &RangeIndex{be: be, idx: idx}, nil
+}
+
+// Insert adds a (key, value) pair. The pair must be unique.
+func (ix *RangeIndex) Insert(key int64, val uint64) error {
+	if err := ix.idx.Insert(key, val); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Delete removes a (key, value) pair.
+func (ix *RangeIndex) Delete(key int64, val uint64) error {
+	if err := ix.idx.Delete(key, val); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Search returns every value stored under key.
+func (ix *RangeIndex) Search(key int64) ([]uint64, error) {
+	vals, err := ix.idx.Search(key)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return vals, nil
+}
+
+// Range visits every (key, value) with lo <= key <= hi in ascending order;
+// fn returns false to stop early.
+func (ix *RangeIndex) Range(lo, hi int64, fn func(key int64, val uint64) bool) error {
+	if err := ix.idx.Range(lo, hi, fn); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of stored pairs.
+func (ix *RangeIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *RangeIndex) Pages() int { return ix.be.store.NumPages() }
+
+// Stats reports the cumulative I/O counters.
+func (ix *RangeIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *RangeIndex) ResetStats() { ix.be.resetStats() }

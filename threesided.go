@@ -1,0 +1,66 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/ext3side"
+)
+
+// ThreeSidedIndex is a static index answering 3-sided queries
+// {a1 <= x <= a2, y >= b} — the primitive Theorems 3.3/4.5 address and the
+// paper's motivation for indexing class hierarchies in object-oriented
+// databases.
+type ThreeSidedIndex struct {
+	be  *backend
+	idx *ext3side.Tree
+}
+
+// NewThreeSidedIndex builds a static 3-sided index over pts. The input
+// slice is not retained.
+func NewThreeSidedIndex(pts []Point, opts *Options) (*ThreeSidedIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := ext3side.Build(be.pager, toRecPoints(pts))
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	if err := be.saveMeta(kindThreeSide, idx.Meta().Encode()); err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &ThreeSidedIndex{be: be, idx: idx}, nil
+}
+
+// Query reports every point with a1 <= X <= a2 and Y >= b.
+func (ix *ThreeSidedIndex) Query(a1, a2, b int64) ([]Point, error) {
+	pts, _, err := ix.QueryProfile(a1, a2, b)
+	return pts, err
+}
+
+// QueryProfile is Query plus the query's I/O profile.
+func (ix *ThreeSidedIndex) QueryProfile(a1, a2, b int64) ([]Point, IOProfile, error) {
+	pts, st, err := ix.idx.Query(a1, a2, b)
+	if err != nil {
+		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), IOProfile{
+		PathPages:   st.PathPages,
+		ListPages:   st.ListPages,
+		UsefulIOs:   st.UsefulIOs,
+		WastefulIOs: st.WastefulIOs,
+		Results:     st.Results,
+	}, nil
+}
+
+// Len reports the number of indexed points.
+func (ix *ThreeSidedIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *ThreeSidedIndex) Pages() int { return ix.idx.TotalPages() }
+
+// Stats reports the cumulative I/O counters of the underlying store.
+func (ix *ThreeSidedIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *ThreeSidedIndex) ResetStats() { ix.be.resetStats() }

@@ -1,0 +1,137 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/extpst"
+)
+
+// Scheme selects a static 2-sided construction from the paper's ladder.
+type Scheme int
+
+// The scheme ladder, trading storage for the technique used.
+const (
+	// SchemeIKO is the prior-work baseline: no caches, O(log n + t/B)
+	// queries, O(n/B) pages.
+	SchemeIKO Scheme = iota
+	// SchemeBasic is Lemma 3.1: full-path A/S caches, optimal queries,
+	// O((n/B)·log n) pages.
+	SchemeBasic
+	// SchemeSegmented is Theorem 3.2: per-chunk caches, optimal queries,
+	// O((n/B)·log B) pages.
+	SchemeSegmented
+	// SchemeTwoLevel is Theorem 4.3: regions of B·log B points with X/Y
+	// lists and a second level, optimal queries, O((n/B)·log log B) pages.
+	SchemeTwoLevel
+	// SchemeMultilevel is Theorem 4.4: recursion to O((n/B)·log* B) pages
+	// with an O(log* B) additive query term.
+	SchemeMultilevel
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeIKO:
+		return "iko"
+	case SchemeBasic:
+		return "basic"
+	case SchemeSegmented:
+		return "segmented"
+	case SchemeTwoLevel:
+		return "two-level"
+	case SchemeMultilevel:
+		return "multilevel"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// TwoSidedIndex is a static index answering the paper's 2-sided queries
+// {x >= a, y >= b} over a fixed point set.
+type TwoSidedIndex struct {
+	be     *backend
+	idx    extpst.PointIndex
+	scheme Scheme
+}
+
+// NewTwoSidedIndex builds a static 2-sided index over pts with the given
+// scheme. The input slice is not retained. With Options.Path set and a flat
+// scheme (IKO, Basic, Segmented), the index persists and can be reopened
+// with OpenTwoSidedIndex; the recursive schemes keep in-memory tables and
+// must be rebuilt on open.
+func NewTwoSidedIndex(pts []Point, scheme Scheme, opts *Options) (*TwoSidedIndex, error) {
+	return newTwoSidedIndex(pts, scheme, opts, kindTwoSided)
+}
+
+func newTwoSidedIndex(pts []Point, scheme Scheme, opts *Options, kind byte) (*TwoSidedIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	rec := toRecPoints(pts)
+	var idx extpst.PointIndex
+	switch scheme {
+	case SchemeIKO, SchemeBasic, SchemeSegmented:
+		var sc extpst.Scheme
+		switch scheme {
+		case SchemeIKO:
+			sc = extpst.IKO
+		case SchemeBasic:
+			sc = extpst.Basic
+		default:
+			sc = extpst.Segmented
+		}
+		idx, err = extpst.Build(be.pager, rec, sc)
+	case SchemeTwoLevel:
+		idx, err = extpst.BuildTwoLevel(be.pager, rec)
+	case SchemeMultilevel:
+		idx, err = extpst.BuildMultilevel(be.pager, rec)
+	default:
+		return nil, fmt.Errorf("pathcache: unknown scheme %v", scheme)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	if flat, ok := idx.(*extpst.Tree); ok {
+		if err := be.saveMeta(kind, flat.Meta().Encode()); err != nil {
+			return nil, fmt.Errorf("pathcache: %w", err)
+		}
+	}
+	return &TwoSidedIndex{be: be, idx: idx, scheme: scheme}, nil
+}
+
+// Query reports every point with X >= a and Y >= b.
+func (ix *TwoSidedIndex) Query(a, b int64) ([]Point, error) {
+	pts, _, err := ix.QueryProfile(a, b)
+	return pts, err
+}
+
+// QueryProfile is Query plus the query's I/O profile.
+func (ix *TwoSidedIndex) QueryProfile(a, b int64) ([]Point, IOProfile, error) {
+	pts, st, err := ix.idx.Query(a, b)
+	if err != nil {
+		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), IOProfile{
+		PathPages:   st.PathPages,
+		ListPages:   st.ListPages,
+		UsefulIOs:   st.UsefulIOs,
+		WastefulIOs: st.WastefulIOs,
+		Results:     st.Results,
+	}, nil
+}
+
+// Len reports the number of indexed points.
+func (ix *TwoSidedIndex) Len() int { return ix.idx.Len() }
+
+// Scheme reports which construction the index uses.
+func (ix *TwoSidedIndex) Scheme() Scheme { return ix.scheme }
+
+// Pages reports the storage footprint in pages.
+func (ix *TwoSidedIndex) Pages() int { return ix.idx.TotalPages() }
+
+// Stats reports the cumulative I/O counters of the underlying store.
+func (ix *TwoSidedIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters (and flushes the buffer pool's
+// statistics when one is configured).
+func (ix *TwoSidedIndex) ResetStats() { ix.be.resetStats() }

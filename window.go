@@ -1,0 +1,96 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/extwindow"
+)
+
+// WindowIndex answers general 4-sided window queries
+// {x1 <= X <= x2, y1 <= Y <= y2} — the outermost query class of Figure 1,
+// which the paper leaves open. It is this repository's extension: an
+// external range tree with per-node page directories, answering queries in
+// O(log(n/B) + t/B) I/Os with O((n/B)·log(n/B)) pages (see
+// internal/extwindow for the construction).
+type WindowIndex struct {
+	be  *backend
+	idx *extwindow.Tree
+}
+
+// NewWindowIndex builds a static window index over pts. The input slice is
+// not retained. With Options.Path set the index persists; reopen it with
+// OpenWindowIndex.
+func NewWindowIndex(pts []Point, opts *Options) (*WindowIndex, error) {
+	be, err := newBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := extwindow.Build(be.pager, toRecPoints(pts))
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	if err := be.saveMeta(kindWindow, idx.Meta().Encode()); err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &WindowIndex{be: be, idx: idx}, nil
+}
+
+// OpenWindowIndex reopens a file-backed window index.
+func OpenWindowIndex(path string) (*WindowIndex, error) {
+	be, err := openBackend(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readIndexMeta(be.file, kindWindow)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	m, err := extwindow.DecodeMeta(blob)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extwindow.Reopen(be.pager, m)
+	if err != nil {
+		be.close()
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &WindowIndex{be: be, idx: tr}, nil
+}
+
+// Query reports every point with x1 <= X <= x2 and y1 <= Y <= y2.
+func (ix *WindowIndex) Query(x1, x2, y1, y2 int64) ([]Point, error) {
+	pts, _, err := ix.QueryProfile(x1, x2, y1, y2)
+	return pts, err
+}
+
+// QueryProfile is Query plus the query's I/O profile.
+func (ix *WindowIndex) QueryProfile(x1, x2, y1, y2 int64) ([]Point, IOProfile, error) {
+	pts, st, err := ix.idx.Query(x1, x2, y1, y2)
+	if err != nil {
+		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), IOProfile{
+		PathPages:   st.PathPages,
+		ListPages:   st.ListPages,
+		UsefulIOs:   st.UsefulIOs,
+		WastefulIOs: st.WastefulIOs,
+		Results:     st.Results,
+	}, nil
+}
+
+// Len reports the number of indexed points.
+func (ix *WindowIndex) Len() int { return ix.idx.Len() }
+
+// Pages reports the storage footprint in pages.
+func (ix *WindowIndex) Pages() int { return ix.idx.TotalPages() }
+
+// Stats reports the cumulative I/O counters.
+func (ix *WindowIndex) Stats() Stats { return ix.be.stats() }
+
+// ResetStats zeroes the I/O counters.
+func (ix *WindowIndex) ResetStats() { ix.be.resetStats() }
+
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (ix *WindowIndex) Close() error { return ix.be.close() }
