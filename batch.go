@@ -1,0 +1,205 @@
+package pathcache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel batch-query engine: every static (read-only)
+// index type gains a *Batch method that fans a slice of queries across a
+// bounded worker pool and returns the answers in input order.
+//
+// Work is partitioned deterministically — worker w owns queries w, w+W,
+// w+2W, ... — so each worker's query/result counts depend only on the input,
+// not on scheduling. I/O counters live in the store as atomics, so the
+// batch-wide read/write deltas are exact even under concurrency (provided
+// nothing else drives the same index during the batch).
+//
+// Batch methods are safe on static indexes (and on RangeIndex while no
+// Insert/Delete runs); they must not race with dynamic updates.
+
+// TwoSidedQuery is one query corner {x >= A, y >= B} for QueryBatch.
+type TwoSidedQuery struct{ A, B int64 }
+
+// ThreeSidedQuery is one query {A1 <= x <= A2, y >= B} for QueryBatch.
+type ThreeSidedQuery struct{ A1, A2, B int64 }
+
+// WorkerBatchStats is one worker's share of a batch: how many queries it
+// ran and how many records they returned. The partition is by query index
+// (worker w gets queries w, w+W, ...), so these numbers are deterministic.
+type WorkerBatchStats struct {
+	Queries int
+	Results int
+}
+
+// BatchStats describes one batch execution.
+type BatchStats struct {
+	Workers int // workers actually used (≤ len(queries))
+	Queries int
+	Results int   // total records returned
+	Reads   int64 // store pages read during the batch
+	Writes  int64 // store pages written during the batch
+	// PerWorker has one entry per worker; entries sum exactly to
+	// Queries/Results.
+	PerWorker []WorkerBatchStats
+}
+
+// batchWorkers clamps a requested worker count: non-positive means
+// GOMAXPROCS, and a batch never uses more workers than it has queries.
+func batchWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runBatch executes run(i) for every i in [0, n) across the given number of
+// workers. run returns the result count for query i and must write its
+// answer to a caller-owned slot (disjoint per i, so no synchronization is
+// needed). The first error by query order aborts the batch's remaining work
+// on that worker; other workers finish their partitions.
+func runBatch(be *backend, n, workers int, run func(i int) (int, error)) (BatchStats, error) {
+	workers = batchWorkers(n, workers)
+	st := BatchStats{
+		Workers:   workers,
+		Queries:   n,
+		PerWorker: make([]WorkerBatchStats, workers),
+	}
+	before := be.store.Stats()
+
+	errs := make([]error, workers)
+	errIdx := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &st.PerWorker[w]
+			for i := w; i < n; i += workers {
+				t, err := run(i)
+				if err != nil {
+					errs[w], errIdx[w] = err, i
+					return
+				}
+				ws.Queries++
+				ws.Results += t
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	d := be.store.Stats().Sub(before)
+	st.Reads, st.Writes = d.Reads, d.Writes
+	for _, ws := range st.PerWorker {
+		st.Results += ws.Results
+	}
+	// Report the error with the smallest query index so the failure a
+	// caller sees does not depend on worker scheduling.
+	first, firstIdx := error(nil), n
+	for w := range errs {
+		if errs[w] != nil && errIdx[w] < firstIdx {
+			first, firstIdx = errs[w], errIdx[w]
+		}
+	}
+	if first != nil {
+		return st, fmt.Errorf("pathcache: batch query %d: %w", firstIdx, first)
+	}
+	return st, nil
+}
+
+// QueryBatch answers every query with up to workers concurrent goroutines
+// (workers <= 0 means GOMAXPROCS). out[i] holds the points matching qs[i],
+// in input order. The index must not be mutated during the batch.
+func (ix *TwoSidedIndex) QueryBatch(qs []TwoSidedQuery, workers int) ([][]Point, BatchStats, error) {
+	out := make([][]Point, len(qs))
+	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
+		pts, err := ix.Query(qs[i].A, qs[i].B)
+		if err != nil {
+			return 0, err
+		}
+		out[i] = pts
+		return len(pts), nil
+	})
+	return out, st, err
+}
+
+// QueryBatch answers every 3-sided query concurrently; out[i] matches qs[i].
+func (ix *ThreeSidedIndex) QueryBatch(qs []ThreeSidedQuery, workers int) ([][]Point, BatchStats, error) {
+	out := make([][]Point, len(qs))
+	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
+		pts, err := ix.Query(qs[i].A1, qs[i].A2, qs[i].B)
+		if err != nil {
+			return 0, err
+		}
+		out[i] = pts
+		return len(pts), nil
+	})
+	return out, st, err
+}
+
+// StabBatch answers every stabbing query concurrently; out[i] holds the
+// intervals containing qs[i].
+func (ix *SegmentIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
+	out := make([][]Interval, len(qs))
+	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
+		ivs, err := ix.Stab(qs[i])
+		if err != nil {
+			return 0, err
+		}
+		out[i] = ivs
+		return len(ivs), nil
+	})
+	return out, st, err
+}
+
+// StabBatch answers every stabbing query concurrently; out[i] holds the
+// intervals containing qs[i].
+func (ix *IntervalIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
+	out := make([][]Interval, len(qs))
+	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
+		ivs, err := ix.Stab(qs[i])
+		if err != nil {
+			return 0, err
+		}
+		out[i] = ivs
+		return len(ivs), nil
+	})
+	return out, st, err
+}
+
+// StabBatch answers every stabbing query concurrently through the
+// diagonal-corner reduction; out[i] holds the intervals containing qs[i].
+func (si *StabbingIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
+	out := make([][]Interval, len(qs))
+	st, err := runBatch(si.ix.be, len(qs), workers, func(i int) (int, error) {
+		ivs, err := si.Stab(qs[i])
+		if err != nil {
+			return 0, err
+		}
+		out[i] = ivs
+		return len(ivs), nil
+	})
+	return out, st, err
+}
+
+// SearchBatch looks up every key concurrently; out[i] holds the values
+// stored under keys[i]. No Insert or Delete may run during the batch.
+func (ix *RangeIndex) SearchBatch(keys []int64, workers int) ([][]uint64, BatchStats, error) {
+	out := make([][]uint64, len(keys))
+	st, err := runBatch(ix.be, len(keys), workers, func(i int) (int, error) {
+		vals, err := ix.Search(keys[i])
+		if err != nil {
+			return 0, err
+		}
+		out[i] = vals
+		return len(vals), nil
+	})
+	return out, st, err
+}

@@ -5,6 +5,7 @@
 package pathcache
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -293,4 +294,34 @@ func BenchmarkPublicTwoSidedQuery(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(ix.Stats().Reads)/float64(b.N), "reads/op")
+}
+
+// Public batch API: one op is a 64-query batch through a shared buffer
+// pool. Compare workers=1 vs workers=8 for the fan-out overhead (on a
+// multi-core machine or an I/O-bound pager the 8-worker batch also finishes
+// proportionally faster; see pcbench -exp p1 for the latency-simulated
+// throughput ladder).
+func BenchmarkPublicQueryBatch(b *testing.B) {
+	pts := make([]Point, benchN)
+	for i, p := range benchPts() {
+		pts[i] = Point(p)
+	}
+	ix, err := NewTwoSidedIndex(pts, SchemeSegmented, &Options{PageSize: benchPage, BufferPoolPages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := workload.TwoSidedQueries(64, 1<<30, benchSel, 47)
+	qs := make([]TwoSidedQuery, len(raw))
+	for i, q := range raw {
+		qs[i] = TwoSidedQuery{A: q.A, B: q.B}
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.QueryBatch(qs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

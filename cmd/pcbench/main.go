@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	pcbench [-exp e1|e2|...|f4|all] [-page 4096] [-seed 1] [-small] [-list]
+//	pcbench [-exp e1|e2|...|p1|all] [-page 4096] [-seed 1] [-small] [-list] [-parallel N]
+//
+// -parallel N sets the top of the worker ladder for the parallel
+// batch-query experiment (p1), which reports queries/sec and speedup vs
+// serial through the sharded buffer pool.
 package main
 
 import (
@@ -17,11 +21,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e8, f2, f4, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10, f2, f4, p1, a1..a3, all)")
 	page := flag.Int("page", 4096, "simulated disk page size in bytes")
 	seed := flag.Int64("seed", 1, "workload seed")
 	small := flag.Bool("small", false, "reduced sizes (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 8, "max workers for the parallel batch experiment (p1)")
 	flag.Parse()
 
 	if *list {
@@ -31,7 +36,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{PageSize: *page, Seed: *seed, Small: *small}
+	cfg := bench.Config{PageSize: *page, Seed: *seed, Small: *small, Workers: *parallel}
 	if *exp == "all" {
 		if err := bench.RunAll(os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "pcbench:", err)

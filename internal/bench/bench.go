@@ -30,6 +30,9 @@ type Config struct {
 	// Small switches to reduced sizes so the whole suite runs in seconds
 	// (used by tests; the default sizes match EXPERIMENTS.md).
 	Small bool
+	// Workers caps the worker ladder of the parallel-throughput runner
+	// (default 8).
+	Workers int
 }
 
 func (c Config) pageSize() int {

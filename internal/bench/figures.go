@@ -218,6 +218,7 @@ func Runners() []Runner {
 		{"e10", "extension: 4-sided window range tree", RunE10},
 		{"f2", "skeletal B-tree descent cost", RunF2},
 		{"f4", "Figure 4 block classification and decomposition", RunF4},
+		{"p1", "parallel batch throughput through the sharded pool", RunPar},
 		{"a1", "ablation: cache chunk length (Theorem 3.2's log B)", RunA1},
 		{"a2", "ablation: buffer pool size vs cold bounds", RunA2},
 		{"a3", "ablation: workload shape vs query constants", RunA3},

@@ -1,0 +1,44 @@
+package disk
+
+import "time"
+
+// SlowPager wraps a Pager and charges a fixed wall-clock latency per page
+// transfer, modelling a real device where a page read costs ~100µs (NVMe) to
+// ~10ms (spinning disk). Layered beneath a BufferPool it makes the simulator
+// behave like production hardware: cache hits are free, misses block — which
+// is what parallel batch querying overlaps. Alloc and Free stay free, like
+// the I/O model's accounting.
+//
+// SlowPager is safe for concurrent use when its inner pager is; sleeping
+// happens outside any lock, so concurrent transfers overlap their latency
+// exactly as independent device requests would.
+type SlowPager struct {
+	Inner      Pager
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+}
+
+// PageSize implements Pager.
+func (s *SlowPager) PageSize() int { return s.Inner.PageSize() }
+
+// Alloc implements Pager.
+func (s *SlowPager) Alloc() (PageID, error) { return s.Inner.Alloc() }
+
+// Free implements Pager.
+func (s *SlowPager) Free(id PageID) error { return s.Inner.Free(id) }
+
+// Read implements Pager, charging ReadDelay per call.
+func (s *SlowPager) Read(id PageID, buf []byte) error {
+	if s.ReadDelay > 0 {
+		time.Sleep(s.ReadDelay)
+	}
+	return s.Inner.Read(id, buf)
+}
+
+// Write implements Pager, charging WriteDelay per call.
+func (s *SlowPager) Write(id PageID, buf []byte) error {
+	if s.WriteDelay > 0 {
+		time.Sleep(s.WriteDelay)
+	}
+	return s.Inner.Write(id, buf)
+}

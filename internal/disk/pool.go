@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PoolStats reports buffer-pool effectiveness.
@@ -13,19 +14,62 @@ type PoolStats struct {
 	Evictions int64
 }
 
+// Add returns the component-wise sum of s and o, used to fold per-shard
+// counters into a pool-wide snapshot.
+func (s PoolStats) Add(o PoolStats) PoolStats {
+	return PoolStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
+// Sharding policy. A pool with enough frames is striped across up to
+// maxPoolShards independent LRU shards so concurrent readers contend only
+// when they touch pages that hash to the same shard. Small pools stay
+// single-sharded: with fewer than minShardFrames frames per shard the split
+// would distort eviction behaviour for no concurrency benefit, and the
+// single-shard pool is byte-for-byte the classical global LRU the I/O
+// experiments were calibrated against.
+const (
+	maxPoolShards  = 16
+	minShardFrames = 8
+)
+
+// poolShard is one LRU stripe: its own lock, frame map and recency list.
+// Counters are atomics so Stats can sum a consistent-enough snapshot without
+// taking any shard lock.
+type poolShard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
 // BufferPool is a write-back LRU page cache layered over a Store. It
 // implements Pager, so structures can run either directly against the store
 // (cold, worst-case I/O measurement) or through a pool (warm behaviour).
 //
-// BufferPool is safe for concurrent use, though the experiments in this
-// repository drive it single-threaded for deterministic counts.
+// The pool is lock-striped: frames are spread across power-of-two shards by
+// a hash of the PageID, and each shard has its own mutex and LRU list, so
+// concurrent readers scale instead of serializing on one lock. Capacity is
+// split across shards; hit/miss/eviction accounting is kept per shard with
+// atomics and summed exactly by Stats, which never blocks readers.
+//
+// BufferPool is safe for concurrent use. Accounting is deterministic in the
+// no-eviction regime (every distinct page misses exactly once, every other
+// access hits) regardless of goroutine interleaving; once shards evict, the
+// conservation law hits+misses == accesses and misses-evictions-frees ==
+// resident frames still holds exactly.
 type BufferPool struct {
-	mu       sync.Mutex
-	store    Pager
-	capacity int
-	frames   map[PageID]*list.Element
-	lru      *list.List // front = most recently used
-	stats    PoolStats
+	store     Pager
+	capacity  int
+	shards    []poolShard
+	shardBits uint // shard index = top shardBits bits of the mixed PageID
 }
 
 type frame struct {
@@ -34,21 +78,75 @@ type frame struct {
 	dirty bool
 }
 
-// NewBufferPool wraps a pager with an LRU cache of capacity pages.
+// NewBufferPool wraps a pager with an LRU cache of capacity pages, striped
+// across an automatically chosen number of shards (1 for small pools, up to
+// 16 as capacity grows past 8 frames per shard).
 func NewBufferPool(store Pager, capacity int) (*BufferPool, error) {
+	return NewBufferPoolShards(store, capacity, defaultShards(capacity))
+}
+
+// defaultShards picks the largest power-of-two shard count that keeps at
+// least minShardFrames frames per shard, capped at maxPoolShards.
+func defaultShards(capacity int) int {
+	s := 1
+	for s*2 <= maxPoolShards && capacity/(s*2) >= minShardFrames {
+		s *= 2
+	}
+	return s
+}
+
+// NewBufferPoolShards wraps a pager with an LRU cache of capacity pages
+// striped across exactly shards LRU shards. shards must be a power of two
+// and no larger than capacity (every shard needs at least one frame).
+func NewBufferPoolShards(store Pager, capacity, shards int) (*BufferPool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("disk: buffer pool capacity %d < 1", capacity)
 	}
-	return &BufferPool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[PageID]*list.Element, capacity),
-		lru:      list.New(),
-	}, nil
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("disk: buffer pool shards %d not a power of two", shards)
+	}
+	if shards > capacity {
+		return nil, fmt.Errorf("disk: buffer pool shards %d > capacity %d", shards, capacity)
+	}
+	bits := uint(0)
+	for 1<<bits < shards {
+		bits++
+	}
+	p := &BufferPool{
+		store:     store,
+		capacity:  capacity,
+		shards:    make([]poolShard, shards),
+		shardBits: bits,
+	}
+	base, extra := capacity/shards, capacity%shards
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		p.shards[i] = poolShard{
+			capacity: c,
+			frames:   make(map[PageID]*list.Element, c),
+			lru:      list.New(),
+		}
+	}
+	return p, nil
+}
+
+// shard returns the stripe owning id. Fibonacci multiplicative hashing mixes
+// the dense, sequential PageIDs so neighbouring pages land on different
+// shards; the top bits of the product are well distributed. A single-shard
+// pool always maps to shard 0 (shifting a uint64 by 64 yields 0 in Go).
+func (p *BufferPool) shard(id PageID) *poolShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &p.shards[h>>(64-p.shardBits)]
 }
 
 // PageSize reports the underlying store's page size.
 func (p *BufferPool) PageSize() int { return p.store.PageSize() }
+
+// NumShards reports how many LRU stripes the pool uses.
+func (p *BufferPool) NumShards() int { return len(p.shards) }
 
 // Alloc reserves a fresh page in the underlying store. The page is not
 // brought into the cache until it is read or written.
@@ -57,12 +155,13 @@ func (p *BufferPool) Alloc() (PageID, error) { return p.store.Alloc() }
 // Free drops any cached copy (discarding dirty data — the page is going
 // away) and releases the page in the store.
 func (p *BufferPool) Free(id PageID) error {
-	p.mu.Lock()
-	if el, ok := p.frames[id]; ok {
-		p.lru.Remove(el)
-		delete(p.frames, id)
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.frames[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.frames, id)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	return p.store.Free(id)
 }
 
@@ -71,20 +170,21 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 	if len(buf) < p.store.PageSize() {
 		return ErrShortBuf
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.lru.MoveToFront(el)
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.frames[id]; ok {
+		sh.hits.Add(1)
+		sh.lru.MoveToFront(el)
 		copy(buf, el.Value.(*frame).data)
 		return nil
 	}
-	p.stats.Misses++
+	sh.misses.Add(1)
 	data := make([]byte, p.store.PageSize())
 	if err := p.store.Read(id, data); err != nil {
 		return err
 	}
-	p.insert(&frame{id: id, data: data})
+	p.insert(sh, &frame{id: id, data: data})
 	copy(buf, data)
 	return nil
 }
@@ -96,28 +196,29 @@ func (p *BufferPool) Write(id PageID, buf []byte) error {
 	if len(buf) < ps {
 		return ErrShortBuf
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.lru.MoveToFront(el)
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.frames[id]; ok {
+		sh.hits.Add(1)
+		sh.lru.MoveToFront(el)
 		f := el.Value.(*frame)
 		copy(f.data, buf[:ps])
 		f.dirty = true
 		return nil
 	}
-	p.stats.Misses++
+	sh.misses.Add(1)
 	data := make([]byte, ps)
 	copy(data, buf[:ps])
-	p.insert(&frame{id: id, data: data, dirty: true})
+	p.insert(sh, &frame{id: id, data: data, dirty: true})
 	return nil
 }
 
-// insert adds a frame, evicting the LRU victim if the pool is full.
-// Caller holds p.mu.
-func (p *BufferPool) insert(f *frame) {
-	for p.lru.Len() >= p.capacity {
-		victim := p.lru.Back()
+// insert adds a frame to sh, evicting the shard's LRU victim if the shard is
+// full. Caller holds sh.mu.
+func (p *BufferPool) insert(sh *poolShard, f *frame) {
+	for sh.lru.Len() >= sh.capacity {
+		victim := sh.lru.Back()
 		vf := victim.Value.(*frame)
 		if vf.dirty {
 			// Best effort: eviction of a dirty page writes it back. An
@@ -125,42 +226,84 @@ func (p *BufferPool) insert(f *frame) {
 			// structures never do for live data.
 			_ = p.store.Write(vf.id, vf.data)
 		}
-		p.lru.Remove(victim)
-		delete(p.frames, vf.id)
-		p.stats.Evictions++
+		sh.lru.Remove(victim)
+		delete(sh.frames, vf.id)
+		sh.evictions.Add(1)
 	}
-	p.frames[f.id] = p.lru.PushFront(f)
+	sh.frames[f.id] = sh.lru.PushFront(f)
 }
 
 // Flush writes back every dirty frame and empties the cache. Subsequent
-// reads are cold, which is how per-query worst-case I/O is measured.
+// reads are cold, which is how per-query worst-case I/O is measured. Shards
+// are drained one at a time; callers should not run Flush concurrently with
+// writes they expect it to cover.
 func (p *BufferPool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if f.dirty {
-			if err := p.store.Write(f.id, f.data); err != nil {
-				return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			f := el.Value.(*frame)
+			if f.dirty {
+				if err := p.store.Write(f.id, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		sh.lru.Init()
+		sh.frames = make(map[PageID]*list.Element, sh.capacity)
+		sh.mu.Unlock()
 	}
-	p.lru.Init()
-	p.frames = make(map[PageID]*list.Element, p.capacity)
 	return nil
 }
 
-// Stats returns a snapshot of hit/miss/eviction counters.
-func (p *BufferPool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+// Len reports the number of resident frames across all shards.
+func (p *BufferPool) Len() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// ResetStats zeroes the pool counters.
+// Stats returns the pool-wide hit/miss/eviction counters: the exact sum of
+// the per-shard atomics. It takes no locks and never blocks readers.
+func (p *BufferPool) Stats() PoolStats {
+	var out PoolStats
+	for i := range p.shards {
+		out = out.Add(p.shards[i].snapshot())
+	}
+	return out
+}
+
+// ShardStats returns one counter snapshot per shard, in shard order. The
+// slice sums exactly to Stats (when no accesses race the walk).
+func (p *BufferPool) ShardStats() []PoolStats {
+	out := make([]PoolStats, len(p.shards))
+	for i := range p.shards {
+		out[i] = p.shards[i].snapshot()
+	}
+	return out
+}
+
+func (sh *poolShard) snapshot() PoolStats {
+	return PoolStats{
+		Hits:      sh.hits.Load(),
+		Misses:    sh.misses.Load(),
+		Evictions: sh.evictions.Load(),
+	}
+}
+
+// ResetStats zeroes the pool counters on every shard.
 func (p *BufferPool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = PoolStats{}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+		sh.evictions.Store(0)
+	}
 }

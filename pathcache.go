@@ -63,6 +63,10 @@ type Options struct {
 	// in-memory simulator. Static indexes built this way persist: reopen
 	// them with the matching Open function. Call Close when done.
 	Path string
+
+	// testWrapPager, when set, wraps the pager every structure sees —
+	// the in-package test hook for fault injection through the public API.
+	testWrapPager func(disk.Pager) disk.Pager
 }
 
 // DefaultPageSize is used when Options.PageSize is zero.
@@ -135,6 +139,9 @@ func newBackend(opts *Options) (*backend, error) {
 		}
 		be.pager = bp
 		be.pool = bp
+	}
+	if opts != nil && opts.testWrapPager != nil {
+		be.pager = opts.testWrapPager(be.pager)
 	}
 	return be, nil
 }
