@@ -1,0 +1,50 @@
+# Mirrors .github/workflows/ci.yml: `make lint test fuzz-smoke` locally is
+# what CI runs remotely, so a green local run means a green pipeline.
+
+GO ?= go
+BIN := bin
+
+.PHONY: all build test lint pcvet fuzz-smoke golden clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# pcvet is the repository's custom multichecker (cmd/pcvet): pager
+# discipline, lock-vs-I/O ordering, fixed-width encodings, %w error wrapping.
+pcvet:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/pcvet ./cmd/pcvet
+
+# staticcheck and govulncheck run only when installed so offline checkouts
+# still get the gofmt, go vet and pcvet passes; CI always runs them.
+lint: pcvet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/pcvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+# Short randomized runs of every fuzz target on top of its seed corpus.
+fuzz-smoke:
+	$(GO) test ./internal/record -run='^$$' -fuzz=FuzzRecordRoundTrip -fuzztime=10s
+	$(GO) test ./internal/record -run='^$$' -fuzz=FuzzEncodePointsFlatten -fuzztime=10s
+	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzChainReadWrite -fuzztime=10s
+	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzChainThroughPool -fuzztime=10s
+
+# Regenerate cmd/pcindex's golden CLI transcript after an intentional
+# output change; review the diff before committing.
+golden:
+	$(GO) test ./cmd/pcindex -run TestGoldenOutput -update
+
+clean:
+	rm -rf $(BIN)

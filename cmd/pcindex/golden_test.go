@@ -17,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite testdata/golden.txt from curren
 // testdata/golden.txt byte for byte. It pins the whole user-visible
 // contract at once — result sets, result order, page-read counts, info
 // formatting — so any behavior drift in the index layers or the CLI shows
-// up as a readable diff. Regenerate intentionally with:
+// up as a readable diff. Regenerate intentionally with `make golden`, i.e.:
 //
 //	go test ./cmd/pcindex -run TestGoldenOutput -update
 func TestGoldenOutput(t *testing.T) {

@@ -54,6 +54,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: pcindex build|query|info [flags] (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "")
+	fmt.Fprintln(os.Stderr, "The CLI's output is pinned by a golden transcript; after an intentional")
+	fmt.Fprintln(os.Stderr, "output change, regenerate it with `make golden` (equivalently:")
+	fmt.Fprintln(os.Stderr, "`go test ./cmd/pcindex -run TestGoldenOutput -update`) and review the diff.")
 	os.Exit(2)
 }
 

@@ -1,0 +1,70 @@
+// Command pcvet is the repository's custom vet tool: a multichecker over
+// the analyzers in internal/analysis/... that enforce the invariants the
+// paper's theorems rest on (see DESIGN.md, “Statically-enforced
+// invariants”).
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(which pcvet) ./...   # as a vet backend (CI)
+//	pcvet ./...                            # standalone, from the repo root
+//	pcvet <dir>                            # one package directory (fixtures)
+//
+// As a vet backend it speaks cmd/go's unitchecker protocol (-V=full, -flags,
+// and a *.cfg unit file per package) and type-checks against the export
+// data the go command hands it. Standalone it resolves and type-checks
+// packages from source. Either way the same analyzers run with the same
+// per-package scoping, so local runs match CI exactly.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pathcache/internal/analysis"
+	"pathcache/internal/analysis/errwrapinjected"
+	"pathcache/internal/analysis/fixedwidth"
+	"pathcache/internal/analysis/lockheldio"
+	"pathcache/internal/analysis/pagerdiscipline"
+)
+
+// all lists every analyzer pcvet knows, in reporting order.
+var all = []*analysis.Analyzer{
+	pagerdiscipline.Analyzer,
+	lockheldio.Analyzer,
+	fixedwidth.Analyzer,
+	errwrapinjected.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		// cmd/go's tool-ID handshake. The exact shape matters: the go
+		// command parses "<name> version <stamp>".
+		fmt.Printf("pcvet version devel buildID=pcvet-%d-analyzers\n", len(all))
+	case len(args) == 1 && args[0] == "-flags":
+		// cmd/go queries the tool's flag set to split the vet command line.
+		// pcvet takes no analyzer flags.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runUnit(args[0])
+	case len(args) > 0 && args[0] == "-h" || len(args) == 0:
+		fmt.Fprintln(os.Stderr, "usage: pcvet ./...          (standalone, from the repo root)")
+		fmt.Fprintln(os.Stderr, "       pcvet <dir> [...]    (explicit package directories)")
+		fmt.Fprintln(os.Stderr, "       go vet -vettool=$(which pcvet) ./...")
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(2)
+	default:
+		runStandalone(args)
+	}
+}
+
+// exit codes follow vet convention: 0 clean, 1 internal failure, 2 findings.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pcvet: "+format+"\n", args...)
+	os.Exit(1)
+}

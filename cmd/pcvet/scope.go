@@ -1,0 +1,96 @@
+package main
+
+import (
+	"path"
+	"strings"
+
+	"pathcache/internal/analysis"
+	"pathcache/internal/analysis/errwrapinjected"
+	"pathcache/internal/analysis/fixedwidth"
+	"pathcache/internal/analysis/lockheldio"
+	"pathcache/internal/analysis/pagerdiscipline"
+)
+
+// Scoping: which analyzers run on which packages. The conventions are
+// layer-specific — pagerdiscipline polices the index structures above the
+// disk layer (the disk package itself is the accounting implementation),
+// lockheldio polices the lock-striped pool and the batch fan-out, fixedwidth
+// polices record encoders, and errwrapinjected applies everywhere
+// production code runs.
+
+// indexPackages are the structure packages that must do all page I/O
+// through their Pager.
+var indexPackages = []string{
+	"internal/extpst",
+	"internal/ext3side",
+	"internal/extseg",
+	"internal/extint",
+	"internal/extwindow",
+	"internal/btree",
+	"internal/skeletal",
+	"internal/logmethod",
+	"internal/dynpst",
+	"internal/dyn3side",
+	"internal/pstcore",
+	"internal/inmem",
+}
+
+// encoderPackages hold fixed-width record layouts or node-payload encoders.
+var encoderPackages = append([]string{"internal/record", "internal/disk"}, indexPackages...)
+
+// lockPackages hold the sharded pool and the parallel batch engine. The
+// bare module path is the root pathcache package (batch.go).
+var lockPackages = []string{"internal/disk", "pathcache"}
+
+// analyzersFor selects the analyzers for importPath. Fixture packages run
+// the analyzer their name starts with, or every analyzer when none matches,
+// so the multichecker can be pointed at any fixture directly.
+func analyzersFor(importPath string) []*analysis.Analyzer {
+	if name, ok := fixtureName(importPath); ok {
+		var matched []*analysis.Analyzer
+		for _, a := range all {
+			if strings.HasPrefix(name, a.Name) {
+				matched = append(matched, a)
+			}
+		}
+		if len(matched) > 0 {
+			return matched
+		}
+		return all
+	}
+
+	var out []*analysis.Analyzer
+	if matchesAny(importPath, indexPackages) {
+		out = append(out, pagerdiscipline.Analyzer)
+	}
+	if matchesAny(importPath, lockPackages) {
+		out = append(out, lockheldio.Analyzer)
+	}
+	if matchesAny(importPath, encoderPackages) {
+		out = append(out, fixedwidth.Analyzer)
+	}
+	out = append(out, errwrapinjected.Analyzer)
+	return out
+}
+
+// fixtureName recognizes analyzer test fixtures: packages under a testdata
+// tree, or bare single-segment paths (a fixture directory loaded from
+// outside the module).
+func fixtureName(importPath string) (string, bool) {
+	if strings.Contains(importPath, "testdata/") {
+		return path.Base(importPath), true
+	}
+	if !strings.Contains(importPath, "/") && importPath != "pathcache" {
+		return importPath, true
+	}
+	return "", false
+}
+
+func matchesAny(importPath string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if importPath == p || strings.HasSuffix(importPath, "/"+p) || p == "pathcache" && importPath == "pathcache" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"pathcache/internal/analysis"
+	"pathcache/internal/analysis/load"
+)
+
+// runStandalone resolves package patterns from source and analyzes each.
+// Run it from the repository root so module-local imports resolve.
+func runStandalone(args []string) {
+	root, modulePath := moduleRoot()
+	targets, err := load.Targets(root, modulePath, args)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(targets) == 0 {
+		fatalf("no packages match %v", args)
+	}
+
+	total := 0
+	for _, tgt := range targets {
+		analyzers := analyzersFor(tgt.ImportPath)
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkg, err := load.Dir(tgt.Dir, tgt.ImportPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		total += reportDiagnostics(pkg.Fset, pkg.Syntax, pkg.Pkg, pkg.Info, analyzers)
+	}
+	if total > 0 {
+		os.Exit(2)
+	}
+}
+
+// moduleRoot finds the enclosing go.mod and the module path it declares.
+func moduleRoot() (root, modulePath string) {
+	dir, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			m := moduleRx.FindSubmatch(data)
+			if m == nil {
+				fatalf("%s/go.mod: no module directive", d)
+			}
+			return d, string(m[1])
+		}
+		if filepath.Dir(d) == d {
+			fatalf("no go.mod found above %s (run pcvet from the repository)", dir)
+		}
+	}
+}
+
+var moduleRx = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// newInfo allocates the types.Info both modes share.
+func newInfo() *types.Info { return analysis.NewInfo() }
+
+// reportDiagnostics runs the analyzers and prints findings in the standard
+// file:line:col format, returning the number reported.
+func reportDiagnostics(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) int {
+	diags, err := analysis.Run(&analysis.Package{Fset: fset, Syntax: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags)
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors the JSON unit file cmd/go writes for each package when
+// pcvet runs as `go vet -vettool=pcvet`. Field set and semantics follow
+// cmd/go/internal/work's vetConfig; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet unit. The go command type-checked the package's
+// dependencies already and points us at their export data; pcvet re-checks
+// only the unit's own files against it, so a full-tree `go vet -vettool`
+// run stays fast.
+func runUnit(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+
+	// pcvet produces no cross-package facts, but the driver expects the
+	// vetx output file to exist before it will cache the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing vetx: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency visit: facts only, no diagnostics wanted
+	}
+
+	analyzers := analyzersFor(cfg.ImportPath)
+	if len(analyzers) == 0 {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := newInfo()
+	tconf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	n := reportDiagnostics(fset, files, pkg, info, analyzers)
+	if n > 0 {
+		os.Exit(2)
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,142 @@
+// Package errwrapinjected keeps the fault-injection contract testable:
+// faults_test.go drives every structure with a disk.FaultPager and asserts
+// errors.Is(err, disk.ErrInjected) on each failure, so an error that crosses
+// a package boundary without %w — or a pager error that is silently
+// discarded — breaks the one oracle the fault-path tests have.
+//
+// Reported:
+//
+//   - fmt.Errorf calls that receive an error argument but whose constant
+//     format string has fewer %w verbs than error arguments (the classic %v
+//     wrap that severs the errors.Is chain);
+//   - err.Error() stringification passed into fmt.Errorf, which severs the
+//     chain even through %s;
+//   - pager I/O calls whose error result is dropped: a bare expression
+//     statement, an assignment to _, or a deferred call. An injected fault
+//     (or a real device error, once the store is a file) disappears without
+//     a trace at such a site.
+package errwrapinjected
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"pathcache/internal/analysis"
+)
+
+// Analyzer is the errwrapinjected check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapinjected",
+	Doc:  "fault-path errors must be wrapped with %w and pager errors must not be discarded, so errors.Is(err, disk.ErrInjected) keeps working",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "its result is discarded by the bare call")
+				}
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call, "a deferred call discards its result")
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "a go statement discards its result")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf calls that lose the error chain.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to prove
+	}
+	format := constant.StringVal(tv.Value)
+	wraps := strings.Count(format, "%w")
+
+	errArgs := 0
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t != nil && isErrorType(t) {
+			errArgs++
+			continue
+		}
+		// err.Error() as an argument severs the chain just as thoroughly.
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if m := analysis.CalleeOf(pass.TypesInfo, inner); m != nil && m.Name() == "Error" {
+				if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil && isErrorType(sig.Recv().Type()) {
+					pass.Reportf(arg.Pos(),
+						"err.Error() stringifies the error before wrapping: errors.Is(err, disk.ErrInjected) will no longer match; pass the error itself with %%w")
+				}
+			}
+		}
+	}
+	if errArgs > wraps {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf receives %d error argument(s) but the format has %d %%w verb(s): the error chain is severed and errors.Is(err, disk.ErrInjected) will no longer match; wrap with %%w", errArgs, wraps)
+	}
+}
+
+// checkDropped flags a pager I/O call whose error result goes nowhere.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if !analysis.IsPagerIO(fn) || analysis.ErrorResultIndex(fn) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s.%s is dropped (%s): an injected fault or real device error would vanish silently; handle or propagate it", recvName(fn), fn.Name(), how)
+}
+
+// checkBlankAssign flags `_ = pagerCall(...)` and multi-result forms that
+// blank out the error position.
+func checkBlankAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	errIdx := analysis.ErrorResultIndex(fn)
+	if !analysis.IsPagerIO(fn) || errIdx < 0 || errIdx >= len(asg.Lhs) {
+		return
+	}
+	if id, ok := asg.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(asg.Pos(),
+			"error from %s.%s is assigned to _: an injected fault or real device error would vanish silently; handle or propagate it", recvName(fn), fn.Name())
+	}
+}
+
+func recvName(fn *types.Func) string {
+	if named := analysis.RecvNamed(fn); named != nil {
+		return named.Obj().Name()
+	}
+	return "disk"
+}
+
+// isErrorType reports whether t implements the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorInterface) ||
+		types.Implements(types.NewPointer(t), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,16 @@
+package errwrapinjected_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/errwrapinjected"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errwrapinjected_bad", errwrapinjected.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/errwrapinjected_good", errwrapinjected.Analyzer)
+}

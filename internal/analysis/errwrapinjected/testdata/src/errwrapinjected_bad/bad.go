@@ -1,0 +1,46 @@
+// Package errwrapinjected_bad severs the errors.Is chain in every way the
+// errwrapinjected analyzer reports: %v wrapping, err.Error() stringification,
+// and pager errors dropped on the floor.
+package errwrapinjected_bad
+
+import (
+	"fmt"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+)
+
+func wrapsWithV(p disk.Pager, id disk.PageID, buf []byte) error {
+	if err := p.Read(id, buf); err != nil {
+		return fmt.Errorf("reading page %d: %v", id, err) // want `fmt\.Errorf receives 1 error argument\(s\) but the format has 0 %w verb\(s\)`
+	}
+	return nil
+}
+
+func stringifies(p disk.Pager, id disk.PageID, buf []byte) error {
+	if err := p.Read(id, buf); err != nil {
+		return fmt.Errorf("reading page %d: %s", id, err.Error()) // want `err\.Error\(\) stringifies the error before wrapping`
+	}
+	return nil
+}
+
+func oneOfTwoWrapped(errA, errB error) error {
+	return fmt.Errorf("a: %w; b: %v", errA, errB) // want `receives 2 error argument\(s\) but the format has 1 %w verb\(s\)`
+}
+
+func dropsFlush(p *disk.BufferPool) {
+	p.Flush() // want `error from BufferPool\.Flush is dropped \(its result is discarded by the bare call\)`
+}
+
+func deferredClose(w *disk.ChainWriter) {
+	defer w.Close() // want `error from ChainWriter\.Close is dropped \(a deferred call discards its result\)`
+}
+
+func blanks(p disk.Pager, id disk.PageID, buf []byte) {
+	_ = p.Write(id, buf) // want `error from Pager\.Write is assigned to _`
+}
+
+func blankScan(p disk.Pager, head disk.PageID) int {
+	n, _ := disk.ScanChain(p, record.PointSize, head, func([]byte) bool { return true }) // want `error from disk\.ScanChain is assigned to _`
+	return n
+}

@@ -1,0 +1,41 @@
+// Package errwrapinjected_good keeps the errors.Is chain intact: %w
+// wrapping, handled pager errors, and defers that capture the error.
+package errwrapinjected_good
+
+import (
+	"errors"
+	"fmt"
+
+	"pathcache/internal/disk"
+)
+
+func wraps(p disk.Pager, id disk.PageID, buf []byte) error {
+	if err := p.Read(id, buf); err != nil {
+		return fmt.Errorf("reading page %d: %w", id, err)
+	}
+	return nil
+}
+
+func handles(p *disk.BufferPool) error {
+	if err := p.Flush(); err != nil && !errors.Is(err, disk.ErrInjected) {
+		return err
+	}
+	return nil
+}
+
+func deferredChecked(w *disk.ChainWriter) (err error) {
+	defer func() {
+		if _, _, _, cerr := w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+func twoWraps(errA, errB error) error {
+	return fmt.Errorf("a: %w; b: %w", errA, errB)
+}
+
+func nonErrorVerbs(id disk.PageID, n int) error {
+	return fmt.Errorf("page %d holds %d records", id, n)
+}

@@ -1,0 +1,16 @@
+package fixedwidth_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/fixedwidth"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fixedwidth_bad", fixedwidth.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/fixedwidth_good", fixedwidth.Analyzer)
+}

@@ -1,0 +1,149 @@
+// Package load turns a package directory into the parsed, type-checked
+// analysis.Package the analyzers consume, using only the standard library.
+//
+// Dependencies are type-checked from source through go/importer's "source"
+// importer, which resolves standard-library packages under GOROOT and
+// module-local packages through the go command — no network, no export
+// data, no golang.org/x/tools. One process-wide importer (and FileSet)
+// caches every dependency, so loading the whole repository type-checks the
+// stdlib closure once.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pathcache/internal/analysis"
+)
+
+var (
+	mu     sync.Mutex
+	fset   = token.NewFileSet()
+	source = importer.ForCompiler(fset, "source", nil)
+)
+
+// Dir loads the (non-test) package rooted at dir. importPath is used as the
+// type-checker's package path; pass "" to use the directory's package name,
+// which is what fixture packages under testdata want.
+func Dir(dir, importPath string) (*analysis.Package, error) {
+	mu.Lock()
+	defer mu.Unlock()
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", dir, err)
+	}
+	var names []string
+	names = append(names, bp.GoFiles...)
+	if importPath == "" {
+		importPath = bp.Name
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewInfo()
+	conf := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return source.Import(path)
+		}),
+		Sizes: types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &analysis.Package{Fset: fset, Syntax: files, Pkg: pkg, Info: info}, nil
+}
+
+// A Target is one package directory to analyze and the import path it is
+// known by.
+type Target struct {
+	Dir        string
+	ImportPath string
+}
+
+// Targets expands args into load targets. Supported forms: "./...",
+// "<dir>/...", and plain directory paths. modulePath is the module's import
+// path prefix (from go.mod) used to derive each package's import path.
+func Targets(root, modulePath string, args []string) ([]Target, error) {
+	var out []Target
+	seen := map[string]bool{}
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil || seen[abs] {
+			return
+		}
+		seen[abs] = true
+		bp, err := build.ImportDir(abs, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return // no non-test Go files here
+		}
+		out = append(out, Target{Dir: abs, ImportPath: importPathFor(root, modulePath, abs)})
+	}
+	for _, arg := range args {
+		base, recursive := strings.CutSuffix(arg, "/...")
+		if base == "." || base == "" {
+			base = root
+		}
+		if !recursive {
+			add(arg)
+			continue
+		}
+		if err := walkGoDirs(base, add); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func walkGoDirs(base string, add func(dir string)) error {
+	return filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+			return fs.SkipDir
+		}
+		add(path)
+		return nil
+	})
+}
+
+// importPathFor derives the import path of dir from the module root.
+func importPathFor(root, modulePath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Base(dir)
+	}
+	if rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,16 @@
+package lockheldio_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/lockheldio"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockheldio_bad", lockheldio.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/lockheldio_good", lockheldio.Analyzer)
+}

@@ -1,0 +1,66 @@
+// Package lockheldio_good exercises the approved shapes: release the latch
+// before pager I/O, hand the I/O to an unlatched goroutine, or carry a
+// //pcvet:allow directive at a design-reviewed site.
+package lockheldio_good
+
+import (
+	"sync"
+
+	"pathcache/internal/disk"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	pager disk.Pager
+	cache map[disk.PageID][]byte
+}
+
+// lookupThenFill releases the latch before touching the pager and
+// re-acquires it to publish the filled frame.
+func (s *shard) lookupThenFill(id disk.PageID, buf []byte) error {
+	s.mu.Lock()
+	data, ok := s.cache[id]
+	s.mu.Unlock()
+	if ok {
+		copy(buf, data)
+		return nil
+	}
+	if err := s.pager.Read(id, buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	dst := make([]byte, len(buf))
+	copy(dst, buf)
+	s.cache[id] = dst
+	s.mu.Unlock()
+	return nil
+}
+
+// sanctioned mirrors the pool's miss fill, with the mandatory justification.
+func (s *shard) sanctioned(id disk.PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//pcvet:allow lockheldio -- fixture mirror of the pool's sanctioned single-page miss fill
+	return s.pager.Read(id, buf)
+}
+
+// spawn hands the I/O to a goroutine, which does not inherit the latch.
+func (s *shard) spawn(id disk.PageID, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.pager.Read(id, buf)
+	}()
+}
+
+// branchRelease unlocks on one path and performs I/O only there.
+func (s *shard) branchRelease(id disk.PageID, buf []byte, hot bool) error {
+	s.mu.Lock()
+	if hot {
+		copy(buf, s.cache[id])
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	return s.pager.Read(id, buf)
+}

@@ -1,0 +1,283 @@
+// Package pagerdiscipline enforces the repository's I/O-accounting contract:
+// index structures touch pages only through the disk.Pager they were built
+// with, and never retain aliases of page buffers past the read that produced
+// them.
+//
+// Two families of violations are reported:
+//
+//  1. Direct *disk.Store page I/O (Read/Write/Alloc/Free) from an index
+//     package. Structures hold a disk.Pager; reaching beneath it — for
+//     example via a type assertion — bypasses the buffer pool, fault
+//     injection, and latency wrappers, so measured I/O counts no longer mean
+//     what the theorems assume. Metadata methods (PageSize, Stats, NumPages,
+//     ResetStats) stay legal: they transfer no pages.
+//
+//  2. Escaping aliases of the record slice handed to a disk.ScanChain
+//     callback. That slice aliases a single page buffer that is overwritten
+//     by the next page read; any copy-free retention (assignment to an outer
+//     variable, append of the slice value, storing it in a field, returning
+//     it) yields records that silently mutate. Decoding
+//     (record.DecodePoint, binary.LittleEndian.Uint64, append(dst, rec...),
+//     copy) is the sanctioned way out.
+package pagerdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pathcache/internal/analysis"
+)
+
+// Analyzer is the pagerdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "pagerdiscipline",
+	Doc:  "index packages must do all page I/O through their disk.Pager and must not retain page-buffer aliases",
+	Run:  run,
+}
+
+// storeIOMethods are the *disk.Store methods that transfer or release pages.
+var storeIOMethods = map[string]bool{"Read": true, "Write": true, "Alloc": true, "Free": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkStoreBypass(pass, call)
+			checkScanChainCallback(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStoreBypass flags page I/O invoked on a concrete *disk.Store. Calls
+// through the disk.Pager interface resolve to the interface method and are
+// not matched.
+func checkStoreBypass(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || !storeIOMethods[fn.Name()] {
+		return
+	}
+	named := analysis.RecvNamed(fn)
+	if named == nil || named.Obj().Name() != "Store" || !analysis.PkgIs(named.Obj().Pkg(), "internal/disk") {
+		return
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"direct disk.Store.%s bypasses the structure's Pager: I/O accounting, the buffer pool, and fault injection are all skipped; call through the disk.Pager the structure was built with", fn.Name())
+}
+
+// checkScanChainCallback analyzes the func literal passed to disk.ScanChain
+// for escaping aliases of the per-record slice.
+func checkScanChainCallback(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "ScanChain" || !analysis.PkgIs(fn.Pkg(), "internal/disk") {
+		return
+	}
+	if len(call.Args) < 4 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[3]).(*ast.FuncLit)
+	if !ok {
+		return // named callbacks are outside this analyzer's local reasoning
+	}
+	if len(lit.Type.Params.List) == 0 || len(lit.Type.Params.List[0].Names) == 0 {
+		return // parameter unnamed: the record cannot be referenced at all
+	}
+	recObj := pass.TypesInfo.Defs[lit.Type.Params.List[0].Names[0]]
+	if recObj == nil {
+		return
+	}
+	esc := &escapeChecker{pass: pass, lit: lit, aliases: map[types.Object]bool{recObj: true}}
+	// Local variables assigned from an alias become aliases themselves;
+	// iterate to a fixed point before hunting for escapes.
+	for {
+		before := len(esc.aliases)
+		ast.Inspect(lit.Body, esc.collectAliases)
+		if len(esc.aliases) == before {
+			break
+		}
+	}
+	ast.Inspect(lit.Body, esc.checkEscapes)
+}
+
+// escapeChecker tracks which objects alias the callback's record slice and
+// reports uses that let an alias outlive the callback invocation.
+type escapeChecker struct {
+	pass    *analysis.Pass
+	lit     *ast.FuncLit
+	aliases map[types.Object]bool
+}
+
+// isAlias reports whether e evaluates to a slice aliasing the page buffer:
+// the record parameter, a tracked local, a reslice of an alias, or a slice
+// conversion of one.
+func (c *escapeChecker) isAlias(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return c.aliases[c.pass.TypesInfo.Uses[e]]
+	case *ast.SliceExpr:
+		return c.isAlias(e.X)
+	case *ast.CallExpr:
+		// A conversion like []byte(rec) returns the same backing array.
+		if len(e.Args) == 1 && c.pass.TypesInfo.Types[e.Fun].IsType() {
+			if _, isSlice := c.pass.TypesInfo.TypeOf(e).Underlying().(*types.Slice); isSlice {
+				return c.isAlias(e.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// collectAliases adds locals assigned from an alias expression.
+func (c *escapeChecker) collectAliases(n ast.Node) bool {
+	asg, ok := n.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != len(asg.Rhs) {
+		return true
+	}
+	for i, rhs := range asg.Rhs {
+		if !c.isAlias(rhs) {
+			continue
+		}
+		if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[id]
+			}
+			if obj != nil && c.declaredInside(obj) {
+				c.aliases[obj] = true
+			}
+		}
+	}
+	return true
+}
+
+// declaredInside reports whether obj is declared within the callback.
+func (c *escapeChecker) declaredInside(obj types.Object) bool {
+	return obj.Pos() >= c.lit.Pos() && obj.Pos() <= c.lit.End()
+}
+
+// allowedCallee permits the calls that copy data out of the record rather
+// than retaining it: the binary codecs and the record package's decoders.
+func (c *escapeChecker) allowedCallee(call *ast.CallExpr) bool {
+	fn := analysis.CalleeOf(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	return analysis.PkgIs(fn.Pkg(), "encoding/binary") || analysis.PkgIs(fn.Pkg(), "internal/record")
+}
+
+func (c *escapeChecker) report(pos ast.Node, how string) {
+	c.pass.Reportf(pos.Pos(),
+		"ScanChain record slice aliases a reused page buffer and is overwritten by the next page read: %s; decode or copy the record instead", how)
+}
+
+// checkEscapes flags every construct that lets an alias survive the callback.
+func (c *escapeChecker) checkEscapes(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i := range n.Rhs {
+			if i >= len(n.Lhs) || !c.isAlias(n.Rhs[i]) {
+				continue
+			}
+			switch lhs := n.Lhs[i].(type) {
+			case *ast.Ident:
+				obj := c.pass.TypesInfo.Defs[lhs]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[lhs]
+				}
+				if obj != nil && !c.declaredInside(obj) && lhs.Name != "_" {
+					c.report(n, "assigned to variable "+lhs.Name+" declared outside the callback")
+				}
+			default:
+				// Field, element, or pointer target: the alias escapes into
+				// a structure that outlives the callback.
+				c.report(n, "stored through "+exprString(lhs))
+			}
+		}
+	case *ast.CallExpr:
+		if fn, isBuiltin := builtinName(c.pass.TypesInfo, n); isBuiltin {
+			switch fn {
+			case "append":
+				// append(dst, rec...) copies bytes; append(dst, rec) retains
+				// the slice value itself.
+				for i, arg := range n.Args {
+					if !c.isAlias(arg) {
+						continue
+					}
+					if i == len(n.Args)-1 && n.Ellipsis.IsValid() {
+						continue
+					}
+					c.report(arg, "appended as a slice value")
+				}
+			case "len", "cap", "copy", "clear", "min", "max", "print", "println":
+				// Reads only (copy's source position is the sanctioned copy).
+			}
+			return true
+		}
+		if c.pass.TypesInfo.Types[n.Fun].IsType() {
+			return true // conversions handled via isAlias at their use site
+		}
+		if c.allowedCallee(n) {
+			return true
+		}
+		for _, arg := range n.Args {
+			if c.isAlias(arg) {
+				c.report(arg, "passed to "+exprString(n.Fun)+", which pagerdiscipline cannot prove copies it")
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if c.isAlias(r) {
+				c.report(r, "returned from the callback")
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.isAlias(el) {
+				c.report(el, "stored in a composite literal")
+			}
+		}
+	case *ast.SendStmt:
+		if c.isAlias(n.Value) {
+			c.report(n.Value, "sent on a channel")
+		}
+	}
+	return true
+}
+
+// builtinName reports the builtin a call invokes, if any.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "expression"
+	}
+}

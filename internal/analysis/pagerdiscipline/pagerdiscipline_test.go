@@ -1,0 +1,16 @@
+package pagerdiscipline_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/pagerdiscipline"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/pagerdiscipline_bad", pagerdiscipline.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/pagerdiscipline_good", pagerdiscipline.Analyzer)
+}

@@ -1,0 +1,63 @@
+// Package pagerdiscipline_bad exercises every violation class the
+// pagerdiscipline analyzer reports: direct Store I/O that bypasses the
+// Pager, and ScanChain record aliases escaping their callback.
+package pagerdiscipline_bad
+
+import (
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+)
+
+type index struct {
+	pager disk.Pager
+	last  []byte
+	rows  [][]byte
+}
+
+// bypass reaches beneath the Pager interface to the concrete Store.
+func bypass(p disk.Pager, id disk.PageID, buf []byte) error {
+	if s, ok := p.(*disk.Store); ok {
+		return s.Read(id, buf) // want `direct disk\.Store\.Read bypasses the structure's Pager`
+	}
+	return p.Read(id, buf)
+}
+
+// bypassWrite allocates and writes around the accounting wrapper.
+func bypassWrite(s *disk.Store, buf []byte) error {
+	id, err := s.Alloc() // want `direct disk\.Store\.Alloc bypasses`
+	if err != nil {
+		return err
+	}
+	return s.Write(id, buf) // want `direct disk\.Store\.Write bypasses`
+}
+
+// retain leaks the per-record slice out of a ScanChain callback in every
+// way the analyzer models.
+func (ix *index) retain(head disk.PageID) ([]byte, error) {
+	var out [][]byte
+	var keep []byte
+	_, err := disk.ScanChain(ix.pager, record.PointSize, head, func(rec []byte) bool {
+		keep = rec              // want `assigned to variable keep declared outside the callback`
+		ix.last = rec[8:16]     // want `stored through ix\.last`
+		out = append(out, rec)  // want `appended as a slice value`
+		ix.rows = [][]byte{rec} // want `stored in a composite literal`
+		sink(rec)               // want `passed to sink, which pagerdiscipline cannot prove copies it`
+		alias := rec[:record.PointSize]
+		keep = alias // want `assigned to variable keep declared outside the callback`
+		return true
+	})
+	_ = out
+	return keep, err
+}
+
+// retainViaConversion leaks through a slice conversion of a local alias.
+func retainViaConversion(p disk.Pager, head disk.PageID) (got []byte, err error) {
+	_, err = disk.ScanChain(p, record.PointSize, head, func(rec []byte) bool {
+		b := []byte(rec)
+		got = b // want `assigned to variable got declared outside the callback`
+		return false
+	})
+	return got, err
+}
+
+func sink([]byte) {}

@@ -1,0 +1,55 @@
+// Package pagerdiscipline_good exercises the sanctioned patterns: all I/O
+// through the Pager interface, Store used only for metadata, and ScanChain
+// records decoded or copied before they outlive the callback.
+package pagerdiscipline_good
+
+import (
+	"encoding/binary"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/record"
+)
+
+type index struct {
+	pager disk.Pager
+}
+
+// throughPager performs I/O the approved way.
+func throughPager(p disk.Pager, id disk.PageID, buf []byte) error {
+	if err := p.Read(id, buf); err != nil {
+		return err
+	}
+	return p.Write(id, buf)
+}
+
+// statsOnly may look at a concrete Store for accounting metadata.
+func statsOnly(p disk.Pager) (int, int64) {
+	if s, ok := p.(*disk.Store); ok {
+		return s.NumPages(), s.Stats().Reads
+	}
+	return -1, 0
+}
+
+// scan decodes and copies records instead of retaining aliases.
+func (ix *index) scan(head disk.PageID) ([]record.Point, []byte, error) {
+	var pts []record.Point
+	var raw []byte
+	var firstY int64
+	_, err := disk.ScanChain(ix.pager, record.PointSize, head, func(rec []byte) bool {
+		pts = append(pts, record.DecodePoint(rec)) // decode copies
+		raw = append(raw, rec...)                  // spread append copies bytes
+		firstY = int64(binary.LittleEndian.Uint64(rec[8:16]))
+		dst := make([]byte, len(rec))
+		copy(dst, rec) // explicit copy
+		raw = append(raw, dst...)
+		return len(rec) > 0
+	})
+	_ = firstY
+	return pts, raw, err
+}
+
+// unnamedParam cannot retain anything.
+func unnamedParam(p disk.Pager, head disk.PageID) error {
+	_, err := disk.ScanChain(p, record.PointSize, head, func([]byte) bool { return true })
+	return err
+}

@@ -478,13 +478,18 @@ func (t *Tree) refreshSupernode(sr *region) error {
 	return t.writeDirectory(sr, regions)
 }
 
+// descSize is the fixed width of one region descriptor in the super-node
+// directory chain: depth(4) count(4) split(8) minY(8) firstXMin(8)
+// firstYMin(8) pad(8). Writer and readers must share this one constant so
+// the chain's page capacity stays in sync with the encoder.
+const descSize = 48
+
 // writeDirectory serializes the super node's region descriptors — the
 // skeletal pages a search reads when passing through.
 func (t *Tree) writeDirectory(sr *region, regions []*region) error {
 	if err := t.freeIf(sr.sn.dirHead); err != nil {
 		return err
 	}
-	const descSize = 48 // depth(4) count(4) split(8) minY(8) firstXMin(8) firstYMin(8) pad(8)
 	raw := make([]byte, len(regions)*descSize)
 	for i, r := range regions {
 		off := i * descSize
@@ -508,7 +513,7 @@ func (t *Tree) chargeDirectory(sr *region) error {
 	if sr.sn.dirHead == disk.InvalidPage {
 		return nil
 	}
-	_, err := disk.ScanChain(t.pager, 48, sr.sn.dirHead, func([]byte) bool { return true })
+	_, err := disk.ScanChain(t.pager, descSize, sr.sn.dirHead, func([]byte) bool { return true })
 	return err
 }
 
