@@ -1,10 +1,11 @@
-# Mirrors .github/workflows/ci.yml: `make lint test fuzz-smoke` locally is
-# what CI runs remotely, so a green local run means a green pipeline.
+# Mirrors .github/workflows/ci.yml: `make lint test fuzz-smoke crash`
+# locally is what CI runs remotely, so a green local run means a green
+# pipeline.
 
 GO ?= go
 BIN := bin
 
-.PHONY: all build test lint pcvet fuzz-smoke golden clean
+.PHONY: all build test lint pcvet fuzz-smoke crash golden clean
 
 all: build lint test
 
@@ -40,6 +41,13 @@ fuzz-smoke:
 	$(GO) test ./internal/record -run='^$$' -fuzz=FuzzEncodePointsFlatten -fuzztime=10s
 	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzChainReadWrite -fuzztime=10s
 	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzChainThroughPool -fuzztime=10s
+	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzFileStoreOpen -fuzztime=10s
+
+# The crash-consistency matrix: the every-write-point kill sweeps at the
+# store level and through every persisted index kind's public build path.
+crash:
+	$(GO) test ./internal/disk -run='TestCrashSweepStoreLevel|TestCrashFile|TestFileStore' -v
+	$(GO) test . -run='TestCrashSweepIndexes' -v
 
 # Regenerate cmd/pcindex's golden CLI transcript after an intentional
 # output change; review the diff before committing.

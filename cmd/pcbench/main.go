@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	pcbench [-exp e1|e2|...|p1|all] [-page 4096] [-seed 1] [-small] [-list] [-parallel N]
+//	pcbench [-exp e1|e2|...|p1|all] [-page 4096] [-seed 1] [-small] [-list] [-parallel N] [-json DIR]
 //
 // -parallel N sets the top of the worker ladder for the parallel
 // batch-query experiment (p1), which reports queries/sec and speedup vs
 // serial through the sharded buffer pool.
+//
+// -json DIR runs a compact measurement suite instead of the tables and
+// writes one BENCH_<family>.json per structure family into DIR: measured
+// I/O counts per query beside the paper's predicted bound and their ratio,
+// for dashboards and regression tracking.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	small := flag.Bool("small", false, "reduced sizes (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", 8, "max workers for the parallel batch experiment (p1)")
+	jsonDir := flag.String("json", "", "write machine-readable BENCH_*.json reports into this directory and exit")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +43,17 @@ func main() {
 	}
 
 	cfg := bench.Config{PageSize: *page, Seed: *seed, Small: *small, Workers: *parallel}
+	if *jsonDir != "" {
+		paths, err := bench.WriteJSON(*jsonDir, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		return
+	}
 	if *exp == "all" {
 		if err := bench.RunAll(os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "pcbench:", err)

@@ -56,6 +56,8 @@ func TestGoldenOutput(t *testing.T) {
 		{"query", "-in", filepath.Join(dir, "itv.pc"), "-q", "33"},
 		{"build", "-type", "window", "-in", ptsCSV, "-out", filepath.Join(dir, "win.pc"), "-page", "512"},
 		{"query", "-in", filepath.Join(dir, "win.pc"), "-q", "20 70 30 80"},
+		{"verify", "-in", filepath.Join(dir, "two.pc")},
+		{"verify", "-in", filepath.Join(dir, "seg.pc")},
 	}
 
 	var b strings.Builder

@@ -1,0 +1,174 @@
+package pathcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomized differential tests: drive the dynamic external structures
+// through long seeded insert/delete/query interleavings and compare every
+// query against a flat in-memory model. Runs are deterministic per seed and
+// race-clean (each subtest owns its index), so `go test -race` exercises the
+// sharded buffer-pool paths underneath as well.
+
+// diffModel is the flat reference: a multiset of points with brute-force
+// range queries.
+type diffModel struct {
+	pts []Point
+}
+
+func (m *diffModel) insert(p Point) { m.pts = append(m.pts, p) }
+
+func (m *diffModel) delete(p Point) bool {
+	for i := range m.pts {
+		if m.pts[i] == p {
+			m.pts[i] = m.pts[len(m.pts)-1]
+			m.pts = m.pts[:len(m.pts)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (m *diffModel) twoSided(a, b int64) []Point {
+	var out []Point
+	for _, p := range m.pts {
+		if p.X >= a && p.Y >= b {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (m *diffModel) threeSided(a1, a2, b int64) []Point {
+	var out []Point
+	for _, p := range m.pts {
+		if a1 <= p.X && p.X <= a2 && p.Y >= b {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func randPoint(rng *rand.Rand, id uint64) Point {
+	return Point{X: rng.Int63n(500), Y: rng.Int63n(500), ID: id}
+}
+
+func TestDynamicIndexDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			ix, err := NewDynamicIndex(&Options{PageSize: 512, BufferPoolPages: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := &diffModel{}
+			nextID := uint64(1)
+
+			// Start from a bulk load so compaction has standing structure.
+			var init []Point
+			for i := 0; i < 64; i++ {
+				p := randPoint(rng, nextID)
+				nextID++
+				init = append(init, p)
+				model.insert(p)
+			}
+			if err := ix.BulkLoad(init); err != nil {
+				t.Fatal(err)
+			}
+
+			for op := 0; op < 600; op++ {
+				switch r := rng.Intn(10); {
+				case r < 5: // insert
+					p := randPoint(rng, nextID)
+					nextID++
+					if err := ix.Insert(p); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					model.insert(p)
+				case r < 7 && len(model.pts) > 0: // delete a live point
+					p := model.pts[rng.Intn(len(model.pts))]
+					if err := ix.Delete(p); err != nil {
+						t.Fatalf("op %d delete: %v", op, err)
+					}
+					model.delete(p)
+				default: // query
+					a, b := rng.Int63n(500), rng.Int63n(500)
+					got, err := ix.Query(a, b)
+					if err != nil {
+						t.Fatalf("op %d query(%d,%d): %v", op, a, b, err)
+					}
+					if !samePoints(got, model.twoSided(a, b)) {
+						t.Fatalf("op %d query(%d,%d): diverged from model (%d vs %d results)",
+							op, a, b, len(got), len(model.twoSided(a, b)))
+					}
+				}
+				if ix.Len() != len(model.pts) {
+					t.Fatalf("op %d: Len %d, model %d", op, ix.Len(), len(model.pts))
+				}
+			}
+		})
+	}
+}
+
+func TestDynamicThreeSidedIndexDifferential(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			ix, err := NewDynamicThreeSidedIndex(&Options{PageSize: 512, BufferPoolPages: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := &diffModel{}
+			nextID := uint64(1)
+			var init []Point
+			for i := 0; i < 48; i++ {
+				p := randPoint(rng, nextID)
+				nextID++
+				init = append(init, p)
+				model.insert(p)
+			}
+			if err := ix.BulkLoad(init); err != nil {
+				t.Fatal(err)
+			}
+			for op := 0; op < 500; op++ {
+				switch r := rng.Intn(10); {
+				case r < 5:
+					p := randPoint(rng, nextID)
+					nextID++
+					if err := ix.Insert(p); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					model.insert(p)
+				case r < 7 && len(model.pts) > 0:
+					p := model.pts[rng.Intn(len(model.pts))]
+					if err := ix.Delete(p); err != nil {
+						t.Fatalf("op %d delete: %v", op, err)
+					}
+					model.delete(p)
+				default:
+					a1, a2 := rng.Int63n(500), rng.Int63n(500)
+					if a1 > a2 {
+						a1, a2 = a2, a1
+					}
+					b := rng.Int63n(500)
+					got, err := ix.Query(a1, a2, b)
+					if err != nil {
+						t.Fatalf("op %d query(%d,%d,%d): %v", op, a1, a2, b, err)
+					}
+					if !samePoints(got, model.threeSided(a1, a2, b)) {
+						t.Fatalf("op %d query(%d,%d,%d): diverged from model (%d vs %d results)",
+							op, a1, a2, b, len(got), len(model.threeSided(a1, a2, b)))
+					}
+				}
+				if ix.Len() != len(model.pts) {
+					t.Fatalf("op %d: Len %d, model %d", op, ix.Len(), len(model.pts))
+				}
+			}
+		})
+	}
+}

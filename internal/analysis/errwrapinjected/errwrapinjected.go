@@ -14,12 +14,19 @@
 //   - pager I/O calls whose error result is dropped: a bare expression
 //     statement, an assignment to _, or a deferred call. An injected fault
 //     (or a real device error, once the store is a file) disappears without
-//     a trace at such a site.
+//     a trace at such a site;
+//   - corruption reported outside the disk.ErrCorrupt chain: an errors.New
+//     leaf or an fmt.Errorf with no %w whose constant message mentions
+//     "corrupt". The crash-recovery sweep and `pcindex verify` classify
+//     damage with errors.Is(err, disk.ErrCorrupt), so a corruption error
+//     that does not wrap the sentinel is invisible to both. Declaring a
+//     package-level Err*/err* sentinel is the one sanctioned leaf.
 package errwrapinjected
 
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -29,16 +36,18 @@ import (
 // Analyzer is the errwrapinjected check.
 var Analyzer = &analysis.Analyzer{
 	Name: "errwrapinjected",
-	Doc:  "fault-path errors must be wrapped with %w and pager errors must not be discarded, so errors.Is(err, disk.ErrInjected) keeps working",
+	Doc:  "fault-path errors must be wrapped with %w, pager errors must not be discarded, and corruption errors must wrap disk.ErrCorrupt, so the errors.Is oracles keep working",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
+	exempt := sentinelDecls(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkErrorf(pass, n)
+				checkCorruptLeaf(pass, n, exempt)
 			case *ast.ExprStmt:
 				if call, ok := n.X.(*ast.CallExpr); ok {
 					checkDropped(pass, call, "its result is discarded by the bare call")
@@ -62,7 +71,7 @@ func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
 	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
 		return
 	}
-	if len(call.Args) < 2 {
+	if len(call.Args) == 0 {
 		return
 	}
 	tv, ok := pass.TypesInfo.Types[call.Args[0]]
@@ -71,6 +80,10 @@ func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	format := constant.StringVal(tv.Value)
 	wraps := strings.Count(format, "%w")
+	if wraps == 0 && mentionsCorruption(format) {
+		pass.Reportf(call.Pos(),
+			"error message reports corruption without wrapping: errors.Is(err, disk.ErrCorrupt) — the oracle crash recovery and `pcindex verify` rely on — will not match; wrap the sentinel with %%w")
+	}
 
 	errArgs := 0
 	for _, arg := range call.Args[1:] {
@@ -124,6 +137,74 @@ func checkBlankAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
 		pass.Reportf(asg.Pos(),
 			"error from %s.%s is assigned to _: an injected fault or real device error would vanish silently; handle or propagate it", recvName(fn), fn.Name())
 	}
+}
+
+// checkCorruptLeaf flags errors.New calls whose constant message mentions
+// corruption. Such a leaf starts a fresh chain, so errors.Is(err,
+// disk.ErrCorrupt) — the one oracle the crash-recovery sweep, FileStore.Verify
+// and `pcindex verify` classify damage with — can never match it. The
+// sanctioned exception is the declaration of a sentinel variable itself
+// (collected by sentinelDecls): that is where the oracle is born.
+func checkCorruptLeaf(pass *analysis.Pass, call *ast.CallExpr, exempt map[*ast.CallExpr]bool) {
+	if exempt[call] {
+		return
+	}
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "New" || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if !mentionsCorruption(constant.StringVal(tv.Value)) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"corruption reported as a fresh errors.New leaf: errors.Is(err, disk.ErrCorrupt) — the oracle crash recovery and `pcindex verify` rely on — will not match; wrap the sentinel with fmt.Errorf and %%w")
+}
+
+// sentinelDecls collects the initializer calls of package-level Err*/err*
+// variable declarations. Declaring a sentinel (`var ErrCorrupt =
+// errors.New("disk: corrupt data")`) is the one place a corruption message
+// legitimately appears as a new error leaf.
+func sentinelDecls(pass *analysis.Pass) map[*ast.CallExpr]bool {
+	exempt := make(map[*ast.CallExpr]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					if !strings.HasPrefix(name.Name, "Err") && !strings.HasPrefix(name.Name, "err") {
+						continue
+					}
+					if call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr); ok {
+						exempt[call] = true
+					}
+				}
+			}
+		}
+	}
+	return exempt
+}
+
+// mentionsCorruption reports whether a constant error message claims
+// corruption, in any casing.
+func mentionsCorruption(s string) bool {
+	return strings.Contains(strings.ToLower(s), "corrupt")
 }
 
 func recvName(fn *types.Func) string {

@@ -4,6 +4,7 @@
 package errwrapinjected_bad
 
 import (
+	"errors"
 	"fmt"
 
 	"pathcache/internal/disk"
@@ -43,4 +44,12 @@ func blanks(p disk.Pager, id disk.PageID, buf []byte) {
 func blankScan(p disk.Pager, head disk.PageID) int {
 	n, _ := disk.ScanChain(p, record.PointSize, head, func([]byte) bool { return true }) // want `error from disk\.ScanChain is assigned to _`
 	return n
+}
+
+func corruptLeaf() error {
+	return errors.New("segment header corrupt") // want `corruption reported as a fresh errors\.New leaf`
+}
+
+func corruptNoWrap(id disk.PageID, kind int) error {
+	return fmt.Errorf("node %d kind %d is Corrupted", id, kind) // want `error message reports corruption without wrapping`
 }

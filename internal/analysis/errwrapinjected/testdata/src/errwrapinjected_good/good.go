@@ -39,3 +39,15 @@ func twoWraps(errA, errB error) error {
 func nonErrorVerbs(id disk.PageID, n int) error {
 	return fmt.Errorf("page %d holds %d records", id, n)
 }
+
+// Declaring the sentinel is the sanctioned errors.New leaf for a
+// corruption message; everything else must wrap it.
+var ErrHeaderCorrupt = errors.New("good: corrupt header")
+
+func corruptWrapped(id disk.PageID) error {
+	return fmt.Errorf("page %d corrupt: %w", id, disk.ErrCorrupt)
+}
+
+func corruptSentinelWrapped() error {
+	return fmt.Errorf("reopening after crash: %w", ErrHeaderCorrupt)
+}

@@ -1,0 +1,295 @@
+package bench
+
+// Machine-readable benchmark output: a compact measurement suite whose
+// results are written as BENCH_<name>.json files, one per structure family,
+// so dashboards and regression scripts can track I/O counts and bound
+// ratios without scraping the human-oriented tables.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/ext3side"
+	"pathcache/internal/extint"
+	"pathcache/internal/extpst"
+	"pathcache/internal/extseg"
+	"pathcache/internal/extwindow"
+	"pathcache/internal/record"
+	"pathcache/internal/workload"
+)
+
+// Measurement is one (structure, n) cell: measured average I/O per query
+// beside the paper's predicted bound, and their ratio — the number the
+// theorems say must stay O(1) as n grows.
+type Measurement struct {
+	Structure  string  `json:"structure"`             // e.g. "twosided/segmented"
+	N          int     `json:"n"`                     // input size (points or intervals)
+	B          int     `json:"b"`                     // records per page
+	Queries    int     `json:"queries"`               // battery size
+	AvgReads   float64 `json:"avg_reads"`             // measured page reads per query
+	AvgResults float64 `json:"avg_results"`           // average t
+	Bound      float64 `json:"bound"`                 // predicted reads: search term + t/B
+	Ratio      float64 `json:"ratio"`                 // AvgReads / Bound
+	Pages      int     `json:"pages"`                 // storage footprint in pages
+	SpaceBound float64 `json:"space_bound,omitempty"` // predicted pages, when the theorem gives one
+}
+
+// Report is the payload of one BENCH_<name>.json file.
+type Report struct {
+	Name         string        `json:"name"`
+	PageSize     int           `json:"page_size"`
+	Seed         int64         `json:"seed"`
+	Small        bool          `json:"small"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+func ratio(measured, bound float64) float64 {
+	if bound <= 0 {
+		return 0
+	}
+	return measured / bound
+}
+
+// jsonPointNs keeps the JSON suite quick: it is a tracking artifact, not the
+// full EXPERIMENTS.md reproduction.
+func (c Config) jsonPointNs() []int {
+	if c.Small {
+		return []int{2_000, 10_000}
+	}
+	return []int{10_000, 100_000}
+}
+
+func twoSidedReport(cfg Config) (Report, error) {
+	rep := Report{Name: "twosided", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.PointSize)
+	for _, n := range cfg.jsonPointNs() {
+		pts := workload.UniformPoints(n, 1<<30, cfg.seed())
+		qs := workload.TwoSidedQueries(cfg.queries(), 1<<30, 0.01, cfg.seed()+1)
+		for _, sc := range []struct {
+			name   string
+			scheme extpst.Scheme
+			search float64 // predicted search term in page reads
+		}{
+			{"iko", extpst.IKO, float64(log2(n))},
+			{"basic", extpst.Basic, float64(logB(n, b))},
+			{"segmented", extpst.Segmented, float64(logB(n, b))},
+		} {
+			s := disk.MustStore(cfg.pageSize())
+			tr, err := extpst.Build(s, pts, sc.scheme)
+			if err != nil {
+				return rep, fmt.Errorf("build %s n=%d: %w", sc.name, n, err)
+			}
+			avgReads, avgT, err := measure2Sided(s, tr, qs)
+			if err != nil {
+				return rep, fmt.Errorf("query %s n=%d: %w", sc.name, n, err)
+			}
+			bound := sc.search + avgT/float64(b)
+			rep.Measurements = append(rep.Measurements, Measurement{
+				Structure:  "twosided/" + sc.name,
+				N:          n,
+				B:          b,
+				Queries:    len(qs),
+				AvgReads:   avgReads,
+				AvgResults: avgT,
+				Bound:      bound,
+				Ratio:      ratio(avgReads, bound),
+				Pages:      tr.TotalPages(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func threeSidedReport(cfg Config) (Report, error) {
+	rep := Report{Name: "threeside", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.PointSize)
+	for _, n := range cfg.jsonPointNs() {
+		pts := workload.UniformPoints(n, 1<<30, cfg.seed())
+		qs := workload.ThreeSidedQueries(cfg.queries(), 1<<30, 0.1, 0.05, cfg.seed()+2)
+		s := disk.MustStore(cfg.pageSize())
+		tr, err := ext3side.Build(s, pts)
+		if err != nil {
+			return rep, fmt.Errorf("build threeside n=%d: %w", n, err)
+		}
+		var reads, results int64
+		for _, q := range qs {
+			s.ResetStats()
+			out, _, err := tr.Query(q.A1, q.A2, q.B)
+			if err != nil {
+				return rep, fmt.Errorf("query threeside n=%d: %w", n, err)
+			}
+			reads += s.Stats().Reads
+			results += int64(len(out))
+		}
+		avgReads := float64(reads) / float64(len(qs))
+		avgT := float64(results) / float64(len(qs))
+		bound := float64(logB(n, b)) + avgT/float64(b)
+		rep.Measurements = append(rep.Measurements, Measurement{
+			Structure:  "threeside",
+			N:          n,
+			B:          b,
+			Queries:    len(qs),
+			AvgReads:   avgReads,
+			AvgResults: avgT,
+			Bound:      bound,
+			Ratio:      ratio(avgReads, bound),
+			Pages:      tr.TotalPages(),
+		})
+	}
+	return rep, nil
+}
+
+func stabReport(cfg Config) (Report, error) {
+	rep := Report{Name: "stabbing", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.IntervalSize)
+	for _, n := range cfg.jsonPointNs() {
+		ivs := workload.UniformIntervals(n, 1<<30, 1<<24, cfg.seed())
+		qs := workload.StabQueries(cfg.queries(), 1<<30, cfg.seed()+3)
+		type built struct {
+			name string
+			stab func(q int64) (int, int64, error) // results, reads
+		}
+		var variants []built
+
+		for _, v := range []extseg.Variant{extseg.Naive, extseg.PathCached} {
+			s := disk.MustStore(cfg.pageSize())
+			tr, err := extseg.Build(s, ivs, v)
+			if err != nil {
+				return rep, fmt.Errorf("build segment/%v n=%d: %w", v, n, err)
+			}
+			variants = append(variants, built{
+				name: "segment/" + v.String(),
+				stab: func(q int64) (int, int64, error) {
+					s.ResetStats()
+					out, _, err := tr.Stab(q)
+					return len(out), s.Stats().Reads, err
+				},
+			})
+		}
+		intStore := disk.MustStore(cfg.pageSize())
+		itr, err := extint.Build(intStore, ivs, extint.PathCached)
+		if err != nil {
+			return rep, fmt.Errorf("build interval n=%d: %w", n, err)
+		}
+		variants = append(variants, built{
+			name: "interval/path-cached",
+			stab: func(q int64) (int, int64, error) {
+				intStore.ResetStats()
+				out, _, err := itr.Stab(q)
+				return len(out), intStore.Stats().Reads, err
+			},
+		})
+
+		for _, v := range variants {
+			var reads, results int64
+			for _, q := range qs {
+				t, r, err := v.stab(q)
+				if err != nil {
+					return rep, fmt.Errorf("stab %s n=%d: %w", v.name, n, err)
+				}
+				results += int64(t)
+				reads += r
+			}
+			avgReads := float64(reads) / float64(len(qs))
+			avgT := float64(results) / float64(len(qs))
+			bound := float64(logB(n, b)) + avgT/float64(b)
+			rep.Measurements = append(rep.Measurements, Measurement{
+				Structure:  v.name,
+				N:          n,
+				B:          b,
+				Queries:    len(qs),
+				AvgReads:   avgReads,
+				AvgResults: avgT,
+				Bound:      bound,
+				Ratio:      ratio(avgReads, bound),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func windowReport(cfg Config) (Report, error) {
+	rep := Report{Name: "window", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.PointSize)
+	for _, n := range cfg.jsonPointNs() {
+		pts := workload.UniformPoints(n, 1<<30, cfg.seed())
+		qs := workload.ThreeSidedQueries(cfg.queries(), 1<<30, 0.1, 0.05, cfg.seed()+4)
+		s := disk.MustStore(cfg.pageSize())
+		tr, err := extwindow.Build(s, pts)
+		if err != nil {
+			return rep, fmt.Errorf("build window n=%d: %w", n, err)
+		}
+		var reads, results int64
+		for _, q := range qs {
+			s.ResetStats()
+			out, _, err := tr.Query(q.A1, q.A2, q.B, 1<<30)
+			if err != nil {
+				return rep, fmt.Errorf("query window n=%d: %w", n, err)
+			}
+			reads += s.Stats().Reads
+			results += int64(len(out))
+		}
+		avgReads := float64(reads) / float64(len(qs))
+		avgT := float64(results) / float64(len(qs))
+		// The range tree answers in O(log(n/B) + t/B) with a log-factor
+		// space blowup (see internal/extwindow).
+		bound := float64(log2((n+b-1)/b)) + avgT/float64(b)
+		rep.Measurements = append(rep.Measurements, Measurement{
+			Structure:  "window/range-tree",
+			N:          n,
+			B:          b,
+			Queries:    len(qs),
+			AvgReads:   avgReads,
+			AvgResults: avgT,
+			Bound:      bound,
+			Ratio:      ratio(avgReads, bound),
+			Pages:      tr.TotalPages(),
+			SpaceBound: float64((n + b - 1) / b * log2((n+b-1)/b)),
+		})
+	}
+	return rep, nil
+}
+
+// JSONReports runs the compact measurement suite and returns one report per
+// structure family.
+func JSONReports(cfg Config) ([]Report, error) {
+	var out []Report
+	for _, f := range []func(Config) (Report, error){
+		twoSidedReport, threeSidedReport, stabReport, windowReport,
+	} {
+		rep, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// WriteJSON runs the suite and writes BENCH_<name>.json for every report
+// into dir (created if missing). It returns the written paths.
+func WriteJSON(dir string, cfg Config) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	reps, err := JSONReports(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, rep := range reps {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rep.Name))
+		if err := os.WriteFile(p, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteJSON runs the compact machine-readable suite at small scale and
+// checks each emitted BENCH_*.json parses back into a Report whose
+// measurements carry coherent I/O accounting: positive reads, bounds, and
+// ratios, and a ratio that stays within a loose constant of the predicted
+// bound (the theorems say O(1); the harness allows generous slack so the
+// test tracks accounting sanity, not constants).
+func TestWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{PageSize: 1024, Seed: 1, Small: true}
+	paths, err := WriteJSON(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := map[string]bool{
+		"BENCH_twosided.json":  true,
+		"BENCH_threeside.json": true,
+		"BENCH_stabbing.json":  true,
+		"BENCH_window.json":    true,
+	}
+	if len(paths) != len(wantNames) {
+		t.Fatalf("wrote %d reports, want %d: %v", len(paths), len(wantNames), paths)
+	}
+	for _, p := range paths {
+		if !wantNames[filepath.Base(p)] {
+			t.Fatalf("unexpected report file %s", p)
+		}
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			t.Fatalf("%s does not parse: %v", p, err)
+		}
+		if rep.PageSize != 1024 || rep.Seed != 1 || !rep.Small {
+			t.Fatalf("%s: config echo mismatch: %+v", p, rep)
+		}
+		if len(rep.Measurements) == 0 {
+			t.Fatalf("%s holds no measurements", p)
+		}
+		for _, m := range rep.Measurements {
+			if m.Structure == "" || m.N <= 0 || m.B <= 0 || m.Queries <= 0 {
+				t.Fatalf("%s: malformed measurement %+v", p, m)
+			}
+			if m.AvgReads <= 0 || m.Bound <= 0 || m.Ratio <= 0 {
+				t.Fatalf("%s: %s n=%d: non-positive accounting %+v", p, m.Structure, m.N, m)
+			}
+			// Loose sanity: measured I/O within 50x of the predicted bound
+			// (IKO's log2 n vs log_B n gap fits comfortably; a broken
+			// counter or bound would be orders off).
+			if m.Ratio > 50 {
+				t.Fatalf("%s: %s n=%d: ratio %.1f implausibly far from bound", p, m.Structure, m.N, m.Ratio)
+			}
+		}
+	}
+}

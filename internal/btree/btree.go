@@ -117,7 +117,7 @@ func (t *Tree) readNode(id disk.PageID) (*node, error) {
 			n.children[i+1] = disk.PageID(le64(buf[off+16:]))
 		}
 	default:
-		return nil, fmt.Errorf("btree: corrupt node %d kind %d", id, n.kind)
+		return nil, fmt.Errorf("btree: corrupt node %d kind %d: %w", id, n.kind, disk.ErrCorrupt)
 	}
 	return n, nil
 }

@@ -148,7 +148,7 @@ func ScanChain(p Pager, recSize int, head PageID, fn func(rec []byte) bool) (pag
 		next := PageID(binary.LittleEndian.Uint64(buf[0:8]))
 		n := int(binary.LittleEndian.Uint16(buf[8:10]))
 		if n > c {
-			return pageReads, fmt.Errorf("disk: corrupt chain page %d: count %d > cap %d", id, n, c)
+			return pageReads, fmt.Errorf("disk: corrupt chain page %d: count %d > cap %d: %w", id, n, c, ErrCorrupt)
 		}
 		for i := 0; i < n; i++ {
 			if !fn(buf[chainHeader+i*recSize : chainHeader+(i+1)*recSize]) {

@@ -2,41 +2,143 @@ package disk
 
 import (
 	"errors"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 )
 
-// ErrInjected is returned by a FaultPager once its budget is exhausted.
+// ErrInjected is returned by a FaultPager when one of its failure modes
+// fires.
 var ErrInjected = errors.New("disk: injected fault")
 
-// FaultPager wraps a Pager and fails every operation after a fixed number
-// of successful ones. Tests use it to verify that the structures propagate
-// I/O errors instead of panicking or corrupting in-memory state.
-type FaultPager struct {
-	Inner Pager
-	// Budget is decremented on every operation; when it goes negative the
-	// operation fails with ErrInjected.
-	budget atomic.Int64
+// FaultMode selects how a FaultPager decides which operations fail.
+type FaultMode int
+
+const (
+	// FailAfterBudget fails every operation once a fixed number of
+	// successful ones have been spent (the classic "disk dies and stays
+	// dead" model).
+	FailAfterBudget FaultMode = iota
+	// FailEveryNth fails exactly every Nth operation (operations N-1, 2N-1,
+	// ... zero-indexed), deterministically — a periodically flaky device.
+	FailEveryNth
+	// FailProb fails each operation independently with probability P, drawn
+	// from a seeded generator, so a run is random-looking but exactly
+	// reproducible from its seed.
+	FailProb
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FailAfterBudget:
+		return "after-budget"
+	case FailEveryNth:
+		return "every-nth"
+	case FailProb:
+		return "probabilistic"
+	default:
+		return "unknown"
+	}
 }
 
-// NewFaultPager allows `budget` operations before failing.
+// FaultPager wraps a Pager and injects ErrInjected failures according to its
+// mode. Tests use it to verify that the structures propagate I/O errors
+// instead of panicking or corrupting in-memory state. All modes are
+// deterministic: the same construction and the same operation sequence yield
+// the same failures.
+type FaultPager struct {
+	Inner Pager
+	mode  FaultMode
+
+	// FailAfterBudget state: decremented on every operation; when it goes
+	// negative the operation fails.
+	budget atomic.Int64
+
+	// FailEveryNth state.
+	n   int64
+	ops atomic.Int64
+
+	// FailProb state: the seeded generator needs a lock, which also keeps
+	// the draw order deterministic under the structures' sequential use.
+	p   float64
+	rmu sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultPager allows `budget` operations before failing every subsequent
+// one.
 func NewFaultPager(inner Pager, budget int64) *FaultPager {
-	fp := &FaultPager{Inner: inner}
+	fp := &FaultPager{Inner: inner, mode: FailAfterBudget}
 	fp.budget.Store(budget)
 	return fp
 }
 
+// NewEveryNthFaultPager fails every nth operation (the (n-1)th, (2n-1)th, ...
+// zero-indexed), deterministically. n must be at least 1; n == 1 fails every
+// operation.
+func NewEveryNthFaultPager(inner Pager, n int64) *FaultPager {
+	if n < 1 {
+		n = 1
+	}
+	return &FaultPager{Inner: inner, mode: FailEveryNth, n: n}
+}
+
+// NewProbFaultPager fails each operation independently with probability p,
+// using a generator seeded with seed: two pagers built with the same seed
+// fail the exact same operations.
+func NewProbFaultPager(inner Pager, p float64, seed int64) *FaultPager {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &FaultPager{Inner: inner, mode: FailProb, p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Mode reports the pager's failure mode.
+func (f *FaultPager) Mode() FaultMode { return f.mode }
+
 // SetBudget resets the remaining operation budget — e.g. unlimited during a
-// build, then small to fail the next query.
+// build, then small to fail the next query. Only meaningful in
+// FailAfterBudget mode.
 func (f *FaultPager) SetBudget(n int64) { f.budget.Store(n) }
 
-// Remaining reports the remaining budget (negative once exhausted).
+// Remaining reports the remaining budget (negative once exhausted). Only
+// meaningful in FailAfterBudget mode.
 func (f *FaultPager) Remaining() int64 { return f.budget.Load() }
 
-func (f *FaultPager) take() error {
-	if f.budget.Add(-1) < 0 {
-		return ErrInjected
+// Ops reports how many operations the pager has seen (attempted, whether
+// they failed or not).
+func (f *FaultPager) Ops() int64 {
+	if f.mode == FailAfterBudget {
+		return 0 // the budget counter is the only state this mode keeps
 	}
-	return nil
+	return f.ops.Load()
+}
+
+func (f *FaultPager) take() error {
+	switch f.mode {
+	case FailEveryNth:
+		if f.ops.Add(1)%f.n == 0 {
+			return ErrInjected
+		}
+		return nil
+	case FailProb:
+		f.ops.Add(1)
+		f.rmu.Lock()
+		v := f.rng.Float64()
+		f.rmu.Unlock()
+		if v < f.p {
+			return ErrInjected
+		}
+		return nil
+	default:
+		if f.budget.Add(-1) < 0 {
+			return ErrInjected
+		}
+		return nil
+	}
 }
 
 // PageSize implements Pager.

@@ -1,0 +1,179 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// opOnPager runs one numbered pager operation, cycling through the four
+// verbs so every mode test exercises Alloc, Free, Read, and Write.
+func opOnPager(p Pager, inner *Store, i int) error {
+	switch i % 4 {
+	case 0:
+		_, err := p.Alloc()
+		return err
+	case 1:
+		id, err := inner.Alloc()
+		if err != nil {
+			return err
+		}
+		return p.Write(id, make([]byte, inner.PageSize()))
+	case 2:
+		id, err := inner.Alloc()
+		if err != nil {
+			return err
+		}
+		return p.Read(id, make([]byte, inner.PageSize()))
+	default:
+		id, err := inner.Alloc()
+		if err != nil {
+			return err
+		}
+		return p.Free(id)
+	}
+}
+
+func TestFaultPagerModes(t *testing.T) {
+	const ops = 64
+	cases := []struct {
+		name string
+		mode FaultMode
+		make func(inner Pager) *FaultPager
+		// wantFail reports whether zero-indexed operation i must fail.
+		wantFail func(i int) bool
+	}{
+		{
+			name:     "after-budget",
+			mode:     FailAfterBudget,
+			make:     func(inner Pager) *FaultPager { return NewFaultPager(inner, 10) },
+			wantFail: func(i int) bool { return i >= 10 },
+		},
+		{
+			name:     "every-nth",
+			mode:     FailEveryNth,
+			make:     func(inner Pager) *FaultPager { return NewEveryNthFaultPager(inner, 5) },
+			wantFail: func(i int) bool { return (i+1)%5 == 0 },
+		},
+		{
+			name:     "every-op",
+			mode:     FailEveryNth,
+			make:     func(inner Pager) *FaultPager { return NewEveryNthFaultPager(inner, 1) },
+			wantFail: func(i int) bool { return true },
+		},
+		{
+			name:     "prob-zero",
+			mode:     FailProb,
+			make:     func(inner Pager) *FaultPager { return NewProbFaultPager(inner, 0, 7) },
+			wantFail: func(i int) bool { return false },
+		},
+		{
+			name:     "prob-one",
+			mode:     FailProb,
+			make:     func(inner Pager) *FaultPager { return NewProbFaultPager(inner, 1, 7) },
+			wantFail: func(i int) bool { return true },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			inner := MustStore(128)
+			fp := tc.make(inner)
+			if fp.Mode() != tc.mode {
+				t.Fatalf("Mode() = %v, want %v", fp.Mode(), tc.mode)
+			}
+			for i := 0; i < ops; i++ {
+				err := opOnPager(fp, inner, i)
+				if tc.wantFail(i) {
+					if !errors.Is(err, ErrInjected) {
+						t.Fatalf("op %d: err = %v, want ErrInjected", i, err)
+					}
+				} else if err != nil {
+					t.Fatalf("op %d: unexpected err %v", i, err)
+				}
+			}
+			if tc.mode != FailAfterBudget {
+				if got := fp.Ops(); got != ops {
+					t.Fatalf("Ops() = %d, want %d", got, ops)
+				}
+			}
+		})
+	}
+}
+
+// TestProbFaultPagerDeterministic proves the probabilistic mode is exactly
+// reproducible: two pagers with the same seed fail the same operations, and
+// a different seed gives a different (but still seed-stable) pattern.
+func TestProbFaultPagerDeterministic(t *testing.T) {
+	const ops = 200
+	pattern := func(seed int64) []bool {
+		inner := MustStore(128)
+		fp := NewProbFaultPager(inner, 0.3, seed)
+		out := make([]bool, ops)
+		for i := range out {
+			out[i] = errors.Is(opOnPager(fp, inner, i), ErrInjected)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == ops {
+		t.Fatalf("p=0.3 produced %d/%d failures; injector is degenerate", fails, ops)
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical failure patterns")
+	}
+}
+
+func TestFaultModeString(t *testing.T) {
+	for mode, want := range map[FaultMode]string{
+		FailAfterBudget: "after-budget",
+		FailEveryNth:    "every-nth",
+		FailProb:        "probabilistic",
+		FaultMode(99):   "unknown",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("FaultMode(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+// TestEveryNthPropagatesThroughChain drives a chain build over an every-nth
+// injector and checks the failure surfaces as a wrapped ErrInjected instead
+// of corrupting the chain silently.
+func TestEveryNthPropagatesThroughChain(t *testing.T) {
+	inner := MustStore(128)
+	fp := NewEveryNthFaultPager(inner, 7)
+	w, err := NewChainWriter(fp, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 24)
+	var failed bool
+	for i := 0; i < 200 && !failed; i++ {
+		if err := w.Append(rec); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("append %d: err = %v, want wrapped ErrInjected", i, err)
+			}
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("200 appends over an every-7th injector never failed")
+	}
+}

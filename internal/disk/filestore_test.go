@@ -2,6 +2,7 @@ package disk
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -20,20 +21,32 @@ func newFileStore(t *testing.T, pageSize int) (*FileStore, string) {
 	return fs, path
 }
 
+func TestFileStoreUsablePageSize(t *testing.T) {
+	fs, _ := newFileStore(t, 128)
+	if got := fs.PageSize(); got != 128-pageTrailerSize {
+		t.Fatalf("PageSize() = %d, want %d (physical minus checksum trailer)", got, 128-pageTrailerSize)
+	}
+	// B derives from the usable size, so chain packing stays exact.
+	if c := ChainCap(fs.PageSize(), 16); c != (fs.PageSize()-chainHeader)/16 {
+		t.Fatalf("ChainCap over usable size = %d", c)
+	}
+}
+
 func TestFileStoreRoundTrip(t *testing.T) {
 	fs, _ := newFileStore(t, 128)
+	ps := fs.PageSize()
 	id, err := fs.Alloc()
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf := make([]byte, 128)
+	buf := make([]byte, ps)
 	for i := range buf {
 		buf[i] = byte(i * 3)
 	}
 	if err := fs.Write(id, buf); err != nil {
 		t.Fatal(err)
 	}
-	got := make([]byte, 128)
+	got := make([]byte, ps)
 	if err := fs.Read(id, got); err != nil {
 		t.Fatal(err)
 	}
@@ -48,13 +61,14 @@ func TestFileStoreRoundTrip(t *testing.T) {
 
 func TestFileStorePersistence(t *testing.T) {
 	fs, path := newFileStore(t, 128)
+	ps := fs.PageSize()
 	var ids []PageID
 	for i := 0; i < 10; i++ {
 		id, err := fs.Alloc()
 		if err != nil {
 			t.Fatal(err)
 		}
-		buf := make([]byte, 128)
+		buf := make([]byte, ps)
 		buf[0] = byte(i + 1)
 		if err := fs.Write(id, buf); err != nil {
 			t.Fatal(err)
@@ -77,13 +91,13 @@ func TestFileStorePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	if re.PageSize() != 128 {
-		t.Fatalf("page size = %d", re.PageSize())
+	if re.PageSize() != ps {
+		t.Fatalf("page size = %d, want %d", re.PageSize(), ps)
 	}
 	if re.NumPages() != 8 {
 		t.Fatalf("NumPages = %d, want 8", re.NumPages())
 	}
-	buf := make([]byte, 128)
+	buf := make([]byte, ps)
 	for i, id := range ids {
 		if i == 3 || i == 7 {
 			if err := re.Read(id, buf); !errors.Is(err, ErrBadPage) {
@@ -116,7 +130,7 @@ func TestFileStorePersistence(t *testing.T) {
 
 func TestFileStoreErrors(t *testing.T) {
 	fs, path := newFileStore(t, 128)
-	buf := make([]byte, 128)
+	buf := make([]byte, fs.PageSize())
 	if err := fs.Read(5, buf); !errors.Is(err, ErrBadPage) {
 		t.Fatalf("read unallocated: %v", err)
 	}
@@ -139,6 +153,9 @@ func TestFileStoreErrors(t *testing.T) {
 	if _, err := CreateFileStore(path, 1); err == nil {
 		t.Fatal("tiny page accepted")
 	}
+	if _, err := CreateFileStore(path, MinFilePageSize-1); err == nil {
+		t.Fatal("page below superblock slots accepted")
+	}
 	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("opened missing file")
 	}
@@ -147,11 +164,15 @@ func TestFileStoreErrors(t *testing.T) {
 func TestFileStoreRejectsForeignFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "not-a-store")
-	if err := writeFile(path, make([]byte, 64)); err != nil {
+	if err := writeFile(path, make([]byte, 256)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenFileStore(path); err == nil {
+	_, err := OpenFileStore(path)
+	if err == nil {
 		t.Fatal("opened a non-store file")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign file error %v, want wrapped ErrCorrupt", err)
 	}
 }
 
@@ -199,6 +220,7 @@ func TestFileStoreReopenProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		ps := fs.PageSize()
 		contents := map[PageID][]byte{}
 		var liveIDs []PageID
 		for _, op := range ops {
@@ -215,7 +237,7 @@ func TestFileStoreReopenProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			buf := make([]byte, 128)
+			buf := make([]byte, ps)
 			for i := range buf {
 				buf[i] = op.Fill
 			}
@@ -236,7 +258,10 @@ func TestFileStoreReopenProperty(t *testing.T) {
 		if re.NumPages() != len(contents) {
 			return false
 		}
-		got := make([]byte, 128)
+		if _, err := re.Verify(); err != nil {
+			return false
+		}
+		got := make([]byte, ps)
 		for id, want := range contents {
 			if re.Read(id, got) != nil || !bytes.Equal(got, want) {
 				return false
@@ -246,5 +271,221 @@ func TestFileStoreReopenProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A flipped bit anywhere in a page's payload or trailer must surface as a
+// wrapped ErrCorrupt on the next read — never as silently different bytes.
+func TestFileStoreDetectsBitFlips(t *testing.T) {
+	fs, path := newFileStore(t, 128)
+	ps := fs.PageSize()
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ps)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := fs.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, byteOff := range []int64{0, int64(ps) / 2, int64(ps), int64(ps) + pageTrailerSize - 1} {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img[128+byteOff] ^= 0x40 // page 0 lives at the physical page offset
+		flipped := filepath.Join(t.TempDir(), "flipped.pc")
+		if err := writeFile(flipped, img); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenFileStore(flipped)
+		if err != nil {
+			t.Fatalf("open after payload flip at %d: %v", byteOff, err)
+		}
+		got := make([]byte, ps)
+		if err := re.Read(id, got); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("read after flip at %d: err = %v, want wrapped ErrCorrupt", byteOff, err)
+		}
+		if _, err := re.Verify(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Verify after flip at %d: err = %v, want wrapped ErrCorrupt", byteOff, err)
+		}
+		re.Close()
+	}
+}
+
+// Destroying one superblock slot leaves the other in charge: the store
+// opens with the surviving epoch, rolling back at most the single update
+// that slot carried. Destroying both is a clean ErrCorrupt.
+func TestFileStoreSuperblockFallback(t *testing.T) {
+	fs, path := newFileStore(t, 128)
+	id, err := fs.Alloc() // epoch 1 -> slot 1 (numPages = 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, fs.PageSize())
+	buf[0] = 42
+	if err := fs.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetAppHead(id); err != nil { // epoch 2 -> slot 0 (appHead = id)
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	destroySlot := func(slot int) []byte {
+		mangled := append([]byte(nil), img...)
+		for i := 0; i < superSize; i++ {
+			mangled[slot*superSlotSize+i] ^= 0xFF
+		}
+		return mangled
+	}
+
+	// Newest slot (0, epoch 2) destroyed: fall back to epoch 1 — the page
+	// is still there, only the appHead update rolls back.
+	re, err := OpenFileStoreOn(NewMemFileFrom(destroySlot(0)))
+	if err != nil {
+		t.Fatalf("open with newest slot destroyed: %v", err)
+	}
+	got := make([]byte, re.PageSize())
+	if err := re.Read(id, got); err != nil || got[0] != 42 {
+		t.Fatalf("fallback read = %v, byte %d", err, got[0])
+	}
+	if re.AppHead() != InvalidPage {
+		t.Fatalf("fallback appHead = %d, want rollback to InvalidPage", re.AppHead())
+	}
+	re.Close()
+
+	// Older slot (1, epoch 1) destroyed: the newest state survives intact.
+	re, err = OpenFileStoreOn(NewMemFileFrom(destroySlot(1)))
+	if err != nil {
+		t.Fatalf("open with stale slot destroyed: %v", err)
+	}
+	if err := re.Read(id, got); err != nil || got[0] != 42 {
+		t.Fatalf("read = %v, byte %d", err, got[0])
+	}
+	if re.AppHead() != id {
+		t.Fatalf("appHead = %d, want %d", re.AppHead(), id)
+	}
+	re.Close()
+
+	both := append([]byte(nil), img...)
+	for i := 0; i < 2*superSlotSize; i++ {
+		both[i] ^= 0xFF
+	}
+	p := filepath.Join(t.TempDir(), "no-slot.pc")
+	if err := writeFile(p, both); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with both slots destroyed: %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+// A truncated file must fail cleanly: either the superblock no longer
+// matches the file size, or page reads report ErrCorrupt.
+func TestFileStoreTruncation(t *testing.T) {
+	fs, path := newFileStore(t, 128)
+	for i := 0; i < 4; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, fs.PageSize())
+		buf[0] = byte(i + 1)
+		if err := fs.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(img) - 1; cut > 0; cut -= 97 {
+		_, err := OpenFileStoreOn(NewMemFileFrom(img[:cut]))
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d: open error %v is not a wrapped ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// Corrupting a free-list stub is caught when the list is walked at open.
+func TestFileStoreFreeListStubChecksum(t *testing.T) {
+	fs, path := newFileStore(t, 128)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := fs.Free(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mangle the freed page's next pointer without fixing its checksum.
+	off := 128 * (1 + int(ids[1]))
+	binary.LittleEndian.PutUint64(img[off:off+8], uint64(ids[0]))
+	if _, err := OpenFileStoreOn(NewMemFileFrom(img)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with mangled free stub: %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+func TestFileStoreVerifyClean(t *testing.T) {
+	fs, _ := newFileStore(t, 128)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, fs.PageSize())
+		buf[0] = byte(i)
+		if err := fs.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := fs.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live != 5 || rep.Free != 1 || rep.PagesOK != 5 || rep.FreeStubsOK != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Usable != 128-pageTrailerSize || rep.PageSize != 128 {
+		t.Fatalf("report sizes = %+v", rep)
+	}
+	// Verify must not disturb the I/O accounting.
+	before := fs.Stats()
+	if _, err := fs.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats() != before {
+		t.Fatal("Verify changed the I/O counters")
 	}
 }

@@ -1,0 +1,94 @@
+package logmethod
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/inmem"
+	"pathcache/internal/record"
+)
+
+// TestDifferentialVsInMem drives the logarithmic-method tree through seeded
+// insert/delete/query interleavings and compares every 2-sided query against
+// the brute-force in-memory oracle. The interleavings are long enough to
+// force level merges, tombstone rewrites, and full compactions.
+func TestDifferentialVsInMem(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		page int
+		ops  int
+	}{
+		{seed: 7, page: 256, ops: 700},
+		{seed: 8, page: 512, ops: 700},
+		{seed: 9, page: 1024, ops: 400},
+	} {
+		tc := tc
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(tc.seed))
+			tr, err := New(disk.MustStore(tc.page))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var live []record.Point
+			nextID := uint64(1)
+
+			check := func(op int) {
+				a, b := rng.Int63n(400), rng.Int63n(400)
+				got, err := tr.Query(a, b)
+				if err != nil {
+					t.Fatalf("op %d query(%d,%d): %v", op, a, b, err)
+				}
+				want := inmem.TwoSided(live, a, b)
+				sortPts := func(pts []record.Point) {
+					sort.Slice(pts, func(i, j int) bool {
+						if pts[i].X != pts[j].X {
+							return pts[i].X < pts[j].X
+						}
+						if pts[i].Y != pts[j].Y {
+							return pts[i].Y < pts[j].Y
+						}
+						return pts[i].ID < pts[j].ID
+					})
+				}
+				sortPts(got)
+				sortPts(want)
+				if len(got) != len(want) {
+					t.Fatalf("op %d query(%d,%d): %d results, oracle %d", op, a, b, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("op %d query(%d,%d): result %d = %+v, oracle %+v", op, a, b, i, got[i], want[i])
+					}
+				}
+			}
+
+			for op := 0; op < tc.ops; op++ {
+				switch r := rng.Intn(10); {
+				case r < 6: // insert
+					p := record.Point{X: rng.Int63n(400), Y: rng.Int63n(400), ID: nextID}
+					nextID++
+					if err := tr.Insert(p); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					live = append(live, p)
+				case r < 8 && len(live) > 0: // delete
+					i := rng.Intn(len(live))
+					if err := tr.Delete(live[i]); err != nil {
+						t.Fatalf("op %d delete: %v", op, err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				default:
+					check(op)
+				}
+				if tr.Len() != len(live) {
+					t.Fatalf("op %d: Len %d, oracle %d", op, tr.Len(), len(live))
+				}
+			}
+			check(tc.ops)
+		})
+	}
+}

@@ -53,7 +53,10 @@ type Interval struct {
 // Options configures the disk behind an index.
 type Options struct {
 	// PageSize is the disk page size in bytes (default 4096). The page
-	// capacity B follows from it: B = (PageSize - 10) / 24 records.
+	// capacity B follows from it: B = (PageSize - 10) / 24 records for the
+	// in-memory simulator. File-backed stores (Path set) reserve the last 4
+	// bytes of every page for a checksum trailer, so there
+	// B = (PageSize - 4 - 10) / 24, and PageSize must be at least 128.
 	PageSize int
 	// BufferPoolPages, when positive, interposes an LRU buffer pool of that
 	// many frames. Leave zero to measure worst-case (cold) I/O per
@@ -67,6 +70,12 @@ type Options struct {
 	// testWrapPager, when set, wraps the pager every structure sees —
 	// the in-package test hook for fault injection through the public API.
 	testWrapPager func(disk.Pager) disk.Pager
+
+	// testFile, when set, backs the index with a FileStore created on this
+	// File instead of a real on-disk file — the in-package hook the
+	// crash-simulation harness uses to drive builds over an injector while
+	// still exercising the whole public build path.
+	testFile disk.File
 }
 
 // DefaultPageSize is used when Options.PageSize is zero.
@@ -118,7 +127,13 @@ func newBackend(opts *Options) (*backend, error) {
 		path = opts.Path
 	}
 	be := &backend{}
-	if path != "" {
+	if opts != nil && opts.testFile != nil {
+		fs, err := disk.CreateFileStoreOn(opts.testFile, ps)
+		if err != nil {
+			return nil, fmt.Errorf("pathcache: %w", err)
+		}
+		be.store, be.file = fs, fs
+	} else if path != "" {
 		fs, err := disk.CreateFileStore(path, ps)
 		if err != nil {
 			return nil, fmt.Errorf("pathcache: %w", err)

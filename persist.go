@@ -12,6 +12,11 @@ import (
 	"pathcache/internal/extseg"
 )
 
+// ErrNoIndex reports a store file whose metadata head is unset: the file is
+// structurally intact but no index build completed against it. A crash
+// before the final metadata commit rolls the file back to this state.
+var ErrNoIndex = errors.New("pathcache: file holds no index")
+
 // Index kinds recorded in the metadata page of a file-backed index.
 const (
 	kindTwoSided  = 1
@@ -49,7 +54,7 @@ func writeIndexMeta(fs *disk.FileStore, kind byte, blob []byte) error {
 func readIndexMeta(fs *disk.FileStore, wantKind byte) ([]byte, error) {
 	head := fs.AppHead()
 	if head == disk.InvalidPage {
-		return nil, errors.New("pathcache: file holds no index metadata")
+		return nil, fmt.Errorf("%w: metadata head unset", ErrNoIndex)
 	}
 	page := make([]byte, fs.PageSize())
 	if err := fs.Read(head, page); err != nil {
@@ -60,7 +65,7 @@ func readIndexMeta(fs *disk.FileStore, wantKind byte) ([]byte, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(page[1:5]))
 	if 5+n > len(page) {
-		return nil, errors.New("pathcache: corrupt index metadata")
+		return nil, fmt.Errorf("pathcache: corrupt index metadata (blob length %d exceeds page): %w", n, disk.ErrCorrupt)
 	}
 	return page[5 : 5+n], nil
 }

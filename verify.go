@@ -1,0 +1,82 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/disk"
+)
+
+// FileReport is the result of a full integrity scan of an index file: the
+// superblock in effect, the page population, and the index kind the
+// metadata page declares. A returned report with a nil error means every
+// live page and free-list stub verified checksum-clean.
+type FileReport struct {
+	Path     string // the scanned file
+	Kind     string // index kind name ("" when the file holds no index)
+	Epoch    uint64 // superblock epoch in effect
+	PageSize int    // physical page size in bytes
+	Usable   int    // payload bytes per page (PageSize minus checksum trailer)
+	Slots    int64  // allocated-or-freed page slots
+	Live     int    // pages holding data
+	Free     int    // pages on the free list
+}
+
+func kindName(k byte) string {
+	switch k {
+	case kindTwoSided:
+		return "twosided"
+	case kindThreeSide:
+		return "threeside"
+	case kindSegment:
+		return "segment"
+	case kindInterval:
+		return "interval"
+	case kindStabbing:
+		return "stabbing"
+	case kindWindow:
+		return "window"
+	default:
+		return fmt.Sprintf("unknown(%d)", k)
+	}
+}
+
+// VerifyFile scans every page and free-list stub of an index file against
+// its checksums and reports what the file holds, without interpreting the
+// index structure itself. It is the recovery-time health check behind
+// `pcindex verify`: after a crash it distinguishes a fully committed index,
+// a structurally intact file whose build never committed (wrapped
+// ErrNoIndex), and detected corruption (an error wrapping disk.ErrCorrupt).
+func VerifyFile(path string) (_ FileReport, err error) {
+	fs, err := disk.OpenFileStore(path)
+	if err != nil {
+		return FileReport{Path: path}, fmt.Errorf("pathcache: %w", err)
+	}
+	defer func() {
+		if cerr := fs.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("pathcache: closing after verify: %w", cerr)
+		}
+	}()
+	rep, err := fs.Verify()
+	out := FileReport{
+		Path:     path,
+		Epoch:    rep.Epoch,
+		PageSize: rep.PageSize,
+		Usable:   rep.Usable,
+		Slots:    rep.Slots,
+		Live:     rep.Live,
+		Free:     rep.Free,
+	}
+	if err != nil {
+		return out, fmt.Errorf("pathcache: %w", err)
+	}
+	head := fs.AppHead()
+	if head == disk.InvalidPage {
+		return out, fmt.Errorf("%w: metadata head unset", ErrNoIndex)
+	}
+	page := make([]byte, fs.PageSize())
+	if err := fs.Read(head, page); err != nil {
+		return out, fmt.Errorf("pathcache: reading metadata page: %w", err)
+	}
+	out.Kind = kindName(page[0])
+	return out, nil
+}
