@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test lint pcvet fuzz-smoke crash golden clean
+.PHONY: all build test lint pcvet fuzz-smoke crash golden bench-json clean
 
 all: build lint test
 
@@ -53,6 +53,12 @@ crash:
 # output change; review the diff before committing.
 golden:
 	$(GO) test ./cmd/pcindex -run TestGoldenOutput -update
+
+# The compact machine-readable measurement suite: one BENCH_<family>.json
+# per structure family under bench/, with family names validated against
+# the engine's kind registry. -small keeps it a smoke run.
+bench-json:
+	$(GO) run ./cmd/pcbench -json bench -small
 
 clean:
 	rm -rf $(BIN)

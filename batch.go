@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 )
 
 // This file is the parallel batch-query engine: every static (read-only)
@@ -12,9 +15,10 @@ import (
 //
 // Work is partitioned deterministically — worker w owns queries w, w+W,
 // w+2W, ... — so each worker's query/result counts depend only on the input,
-// not on scheduling. I/O counters live in the store as atomics, so the
-// batch-wide read/write deltas are exact even under concurrency (provided
-// nothing else drives the same index during the batch).
+// not on scheduling. Each worker routes its page accesses through an
+// op-scoped disk.Counter, so the per-worker and batch-wide I/O numbers are
+// exact attributions of the work this batch caused — even when other
+// batches or queries drive the same index concurrently.
 //
 // Batch methods are safe on static indexes (and on RangeIndex while no
 // Insert/Delete runs); they must not race with dynamic updates.
@@ -25,12 +29,15 @@ type TwoSidedQuery struct{ A, B int64 }
 // ThreeSidedQuery is one query {A1 <= x <= A2, y >= B} for QueryBatch.
 type ThreeSidedQuery struct{ A1, A2, B int64 }
 
-// WorkerBatchStats is one worker's share of a batch: how many queries it
-// ran and how many records they returned. The partition is by query index
-// (worker w gets queries w, w+W, ...), so these numbers are deterministic.
+// WorkerBatchStats is one worker's share of a batch. The partition is by
+// query index (worker w gets queries w, w+W, ...), so Queries and Results
+// are deterministic. Reads and Writes come from the worker's op counter:
+// exact, but under a buffer pool they depend on what is already cached.
 type WorkerBatchStats struct {
 	Queries int
 	Results int
+	Reads   int64 // store pages this worker's queries read
+	Writes  int64 // store pages this worker's queries wrote
 }
 
 // BatchStats describes one batch execution.
@@ -38,10 +45,10 @@ type BatchStats struct {
 	Workers int // workers actually used (≤ len(queries))
 	Queries int
 	Results int   // total records returned
-	Reads   int64 // store pages read during the batch
-	Writes  int64 // store pages written during the batch
+	Reads   int64 // store pages read for this batch (sum over PerWorker)
+	Writes  int64 // store pages written for this batch (sum over PerWorker)
 	// PerWorker has one entry per worker; entries sum exactly to
-	// Queries/Results.
+	// Queries/Results/Reads/Writes.
 	PerWorker []WorkerBatchStats
 }
 
@@ -60,19 +67,21 @@ func batchWorkers(n, workers int) int {
 	return workers
 }
 
-// runBatch executes run(i) for every i in [0, n) across the given number of
-// workers. run returns the result count for query i and must write its
-// answer to a caller-owned slot (disjoint per i, so no synchronization is
-// needed). The first error by query order aborts the batch's remaining work
-// on that worker; other workers finish their partitions.
-func runBatch(be *backend, n, workers int, run func(i int) (int, error)) (BatchStats, error) {
+// runBatch executes n queries across the given number of workers. newRun is
+// called once per worker with that worker's counted pager and returns the
+// function answering query i through it; the returned function reports the
+// result count for i and must write its answer to a caller-owned slot
+// (disjoint per i, so no synchronization is needed). The first error by
+// query order aborts the batch's remaining work on that worker; other
+// workers finish their partitions.
+func runBatch(be *engine.Backend, n, workers int, newRun func(p disk.Pager) func(i int) (int, error)) (BatchStats, error) {
 	workers = batchWorkers(n, workers)
 	st := BatchStats{
 		Workers:   workers,
 		Queries:   n,
 		PerWorker: make([]WorkerBatchStats, workers),
 	}
-	before := be.store.Stats()
+	counters := make([]disk.Counter, workers)
 
 	errs := make([]error, workers)
 	errIdx := make([]int, workers)
@@ -81,6 +90,7 @@ func runBatch(be *backend, n, workers int, run func(i int) (int, error)) (BatchS
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			run := newRun(be.OpPager(&counters[w]))
 			ws := &st.PerWorker[w]
 			for i := w; i < n; i += workers {
 				t, err := run(i)
@@ -95,10 +105,13 @@ func runBatch(be *backend, n, workers int, run func(i int) (int, error)) (BatchS
 	}
 	wg.Wait()
 
-	d := be.store.Stats().Sub(before)
-	st.Reads, st.Writes = d.Reads, d.Writes
-	for _, ws := range st.PerWorker {
+	for w := range st.PerWorker {
+		ws := &st.PerWorker[w]
+		cs := counters[w].Stats()
+		ws.Reads, ws.Writes = cs.Reads, cs.Writes
 		st.Results += ws.Results
+		st.Reads += ws.Reads
+		st.Writes += ws.Writes
 	}
 	// Report the error with the smallest query index so the failure a
 	// caller sees does not depend on worker scheduling.
@@ -119,13 +132,16 @@ func runBatch(be *backend, n, workers int, run func(i int) (int, error)) (BatchS
 // in input order. The index must not be mutated during the batch.
 func (ix *TwoSidedIndex) QueryBatch(qs []TwoSidedQuery, workers int) ([][]Point, BatchStats, error) {
 	out := make([][]Point, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
-		pts, err := ix.Query(qs[i].A, qs[i].B)
-		if err != nil {
-			return 0, err
+	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+		view := ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			pts, _, err := view.Query(qs[i].A, qs[i].B)
+			if err != nil {
+				return 0, err
+			}
+			out[i] = fromRecPoints(pts)
+			return len(out[i]), nil
 		}
-		out[i] = pts
-		return len(pts), nil
 	})
 	return out, st, err
 }
@@ -133,13 +149,16 @@ func (ix *TwoSidedIndex) QueryBatch(qs []TwoSidedQuery, workers int) ([][]Point,
 // QueryBatch answers every 3-sided query concurrently; out[i] matches qs[i].
 func (ix *ThreeSidedIndex) QueryBatch(qs []ThreeSidedQuery, workers int) ([][]Point, BatchStats, error) {
 	out := make([][]Point, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
-		pts, err := ix.Query(qs[i].A1, qs[i].A2, qs[i].B)
-		if err != nil {
-			return 0, err
+	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+		view := ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			pts, _, err := view.Query(qs[i].A1, qs[i].A2, qs[i].B)
+			if err != nil {
+				return 0, err
+			}
+			out[i] = fromRecPoints(pts)
+			return len(out[i]), nil
 		}
-		out[i] = pts
-		return len(pts), nil
 	})
 	return out, st, err
 }
@@ -148,13 +167,16 @@ func (ix *ThreeSidedIndex) QueryBatch(qs []ThreeSidedQuery, workers int) ([][]Po
 // intervals containing qs[i].
 func (ix *SegmentIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
 	out := make([][]Interval, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
-		ivs, err := ix.Stab(qs[i])
-		if err != nil {
-			return 0, err
+	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+		view := ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			ivs, _, err := view.Stab(qs[i])
+			if err != nil {
+				return 0, err
+			}
+			out[i] = fromRecIntervals(ivs)
+			return len(out[i]), nil
 		}
-		out[i] = ivs
-		return len(ivs), nil
 	})
 	return out, st, err
 }
@@ -163,13 +185,16 @@ func (ix *SegmentIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchS
 // intervals containing qs[i].
 func (ix *IntervalIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
 	out := make([][]Interval, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(i int) (int, error) {
-		ivs, err := ix.Stab(qs[i])
-		if err != nil {
-			return 0, err
+	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+		view := ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			ivs, _, err := view.Stab(qs[i])
+			if err != nil {
+				return 0, err
+			}
+			out[i] = fromRecIntervals(ivs)
+			return len(out[i]), nil
 		}
-		out[i] = ivs
-		return len(ivs), nil
 	})
 	return out, st, err
 }
@@ -178,13 +203,20 @@ func (ix *IntervalIndex) StabBatch(qs []int64, workers int) ([][]Interval, Batch
 // diagonal-corner reduction; out[i] holds the intervals containing qs[i].
 func (si *StabbingIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
 	out := make([][]Interval, len(qs))
-	st, err := runBatch(si.ix.be, len(qs), workers, func(i int) (int, error) {
-		ivs, err := si.Stab(qs[i])
-		if err != nil {
-			return 0, err
+	st, err := runBatch(si.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+		view := si.ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			pts, _, err := view.Query(-qs[i], qs[i])
+			if err != nil {
+				return 0, err
+			}
+			ivs := make([]Interval, len(pts))
+			for j, pt := range pts {
+				ivs[j] = pointToInterval(Point(pt))
+			}
+			out[i] = ivs
+			return len(ivs), nil
 		}
-		out[i] = ivs
-		return len(ivs), nil
 	})
 	return out, st, err
 }
@@ -193,13 +225,16 @@ func (si *StabbingIndex) StabBatch(qs []int64, workers int) ([][]Interval, Batch
 // stored under keys[i]. No Insert or Delete may run during the batch.
 func (ix *RangeIndex) SearchBatch(keys []int64, workers int) ([][]uint64, BatchStats, error) {
 	out := make([][]uint64, len(keys))
-	st, err := runBatch(ix.be, len(keys), workers, func(i int) (int, error) {
-		vals, err := ix.Search(keys[i])
-		if err != nil {
-			return 0, err
+	st, err := runBatch(ix.be, len(keys), workers, func(p disk.Pager) func(i int) (int, error) {
+		view := ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			vals, err := view.Search(keys[i])
+			if err != nil {
+				return 0, err
+			}
+			out[i] = vals
+			return len(vals), nil
 		}
-		out[i] = vals
-		return len(vals), nil
 	})
 	return out, st, err
 }

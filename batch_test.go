@@ -2,7 +2,9 @@ package pathcache
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"pathcache/internal/disk"
@@ -63,9 +65,11 @@ func TestQueryBatchMatchesSerial(t *testing.T) {
 	}
 }
 
-// Per-worker stats depend only on the input partition, never on scheduling:
-// two executions with the same worker count report identical PerWorker
-// slices.
+// Per-worker query/result counts depend only on the input partition, never
+// on scheduling: two executions with the same worker count report identical
+// counts. Reads/Writes are exact attributions but not run-stable under a
+// buffer pool (the first batch warms it), so they are checked for
+// consistency with the batch totals instead.
 func TestBatchPerWorkerStatsDeterministic(t *testing.T) {
 	pts := uniformPoints(5_000, 100_000, 905)
 	ix, err := NewTwoSidedIndex(pts, SchemeSegmented, &Options{PageSize: 512, BufferPoolPages: 64})
@@ -81,11 +85,33 @@ func TestBatchPerWorkerStatsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(st1.PerWorker, st2.PerWorker) {
+	type partition struct{ Queries, Results int }
+	part := func(ws []WorkerBatchStats) []partition {
+		out := make([]partition, len(ws))
+		for i, w := range ws {
+			out[i] = partition{w.Queries, w.Results}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(part(st1.PerWorker), part(st2.PerWorker)) {
 		t.Fatalf("per-worker stats drifted between runs:\n%+v\n%+v", st1.PerWorker, st2.PerWorker)
 	}
 	if st1.Workers != 4 || len(st1.PerWorker) != 4 {
 		t.Fatalf("workers = %d (%d per-worker entries), want 4", st1.Workers, len(st1.PerWorker))
+	}
+	for _, st := range []BatchStats{st1, st2} {
+		var r, w int64
+		for _, ws := range st.PerWorker {
+			if ws.Reads < 0 || ws.Writes < 0 {
+				t.Fatalf("negative per-worker I/O: %+v", ws)
+			}
+			r += ws.Reads
+			w += ws.Writes
+		}
+		if r != st.Reads || w != st.Writes {
+			t.Fatalf("per-worker I/O (%d,%d) does not sum to batch totals (%d,%d)",
+				r, w, st.Reads, st.Writes)
+		}
 	}
 }
 
@@ -238,5 +264,94 @@ func TestBatchErrorPropagation(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("results changed after failed batch")
+	}
+}
+
+// Two batches running concurrently over one shared index must each report
+// exactly the I/O they caused: per-worker counts are non-negative and sum
+// to their batch's totals, and the two batches' totals together account for
+// the store-level counter movement over the window — the op-counter
+// attribution invariant. The old implementation diffed the global counters
+// per batch, so concurrent batches double-counted each other's I/O. Run
+// with -race.
+func TestConcurrentBatchesExactIO(t *testing.T) {
+	for _, pool := range []int{0, 32} {
+		t.Run(fmt.Sprintf("pool=%d", pool), func(t *testing.T) {
+			pts := uniformPoints(5_000, 100_000, 931)
+			ix, err := NewTwoSidedIndex(pts, SchemeSegmented,
+				&Options{PageSize: 512, BufferPoolPages: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qsA := batchQueries2(40, 933)
+			qsB := batchQueries2(40, 935)
+
+			before := ix.Stats()
+			var stA, stB BatchStats
+			var errA, errB error
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); _, stA, errA = ix.QueryBatch(qsA, 4) }()
+			go func() { defer wg.Done(); _, stB, errB = ix.QueryBatch(qsB, 4) }()
+			wg.Wait()
+			if errA != nil || errB != nil {
+				t.Fatalf("batch errors: %v / %v", errA, errB)
+			}
+			after := ix.Stats()
+
+			for name, st := range map[string]BatchStats{"A": stA, "B": stB} {
+				var r, w int64
+				for _, ws := range st.PerWorker {
+					if ws.Reads < 0 || ws.Writes < 0 {
+						t.Fatalf("batch %s: negative per-worker I/O: %+v", name, ws)
+					}
+					r += ws.Reads
+					w += ws.Writes
+				}
+				if r != st.Reads || w != st.Writes {
+					t.Fatalf("batch %s: per-worker I/O (%d,%d) != batch totals (%d,%d)",
+						name, r, w, st.Reads, st.Writes)
+				}
+			}
+
+			dr := after.Reads - before.Reads
+			dw := after.Writes - before.Writes
+			if got := stA.Reads + stB.Reads; got != dr {
+				t.Fatalf("attributed reads %d (A=%d B=%d) != store diff %d",
+					got, stA.Reads, stB.Reads, dr)
+			}
+			if got := stA.Writes + stB.Writes; got != dw {
+				t.Fatalf("attributed writes %d (A=%d B=%d) != store diff %d",
+					got, stA.Writes, stB.Writes, dw)
+			}
+			if pool == 0 && stA.Reads == 0 {
+				t.Fatal("uncached batch A reported zero reads")
+			}
+		})
+	}
+}
+
+// QueryProfile's Reads/Writes come from an op-scoped counter: serially they
+// must match the store-level movement of the same query exactly.
+func TestQueryProfileCountsOpIO(t *testing.T) {
+	pts := uniformPoints(3_000, 100_000, 941)
+	ix, err := NewTwoSidedIndex(pts, SchemeSegmented, &Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Stats()
+	_, prof, err := ix.QueryProfile(50_000, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ix.Stats()
+	if prof.Reads != after.Reads-before.Reads {
+		t.Fatalf("profile reads %d != store diff %d", prof.Reads, after.Reads-before.Reads)
+	}
+	if prof.Writes != 0 {
+		t.Fatalf("read-only query reported %d writes", prof.Writes)
+	}
+	if prof.Reads == 0 {
+		t.Fatal("uncached profile reported zero reads")
 	}
 }

@@ -21,8 +21,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+
+	// Imported for its init side effect: registering the six persisted index
+	// kinds with the engine registry, which checkJSONNames validates against.
+	_ "pathcache"
 
 	"pathcache/internal/bench"
+	"pathcache/internal/engine"
 )
 
 func main() {
@@ -45,6 +52,9 @@ func main() {
 	cfg := bench.Config{PageSize: *page, Seed: *seed, Small: *small, Workers: *parallel}
 	if *jsonDir != "" {
 		paths, err := bench.WriteJSON(*jsonDir, cfg)
+		if err == nil {
+			err = checkJSONNames(paths)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pcbench:", err)
 			os.Exit(1)
@@ -72,4 +82,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q (use -list)\n", *exp)
 	os.Exit(1)
+}
+
+// checkJSONNames pins the BENCH_<family>.json namespace to the engine's
+// kind registry: every report family must be a registered index kind name,
+// so dashboards key benchmark files on the same names pcindex info/verify
+// print. Renaming a kind without renaming its bench family fails here.
+func checkJSONNames(paths []string) error {
+	registered := make(map[string]bool)
+	for _, d := range engine.Kinds() {
+		registered[d.Name] = true
+	}
+	for _, p := range paths {
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		if !registered[name] {
+			return fmt.Errorf("report family %q is not a registered index kind", name)
+		}
+	}
+	return nil
 }

@@ -48,13 +48,16 @@ func TestGoldenOutput(t *testing.T) {
 		{"info", "-in", filepath.Join(dir, "three.pc")},
 		{"query", "-in", filepath.Join(dir, "three.pc"), "-q", "20 70 40"},
 		{"build", "-type", "stabbing", "-in", ivsCSV, "-out", filepath.Join(dir, "stab.pc"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "stab.pc")},
 		{"query", "-in", filepath.Join(dir, "stab.pc"), "-q", "33"},
 		{"build", "-type", "segment", "-in", ivsCSV, "-out", filepath.Join(dir, "seg.pc"), "-page", "512"},
 		{"info", "-in", filepath.Join(dir, "seg.pc")},
 		{"query", "-in", filepath.Join(dir, "seg.pc"), "-q", "33"},
 		{"build", "-type", "interval", "-in", ivsCSV, "-out", filepath.Join(dir, "itv.pc"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "itv.pc")},
 		{"query", "-in", filepath.Join(dir, "itv.pc"), "-q", "33"},
 		{"build", "-type", "window", "-in", ptsCSV, "-out", filepath.Join(dir, "win.pc"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "win.pc")},
 		{"query", "-in", filepath.Join(dir, "win.pc"), "-q", "20 70 30 80"},
 		{"verify", "-in", filepath.Join(dir, "two.pc")},
 		{"verify", "-in", filepath.Join(dir, "seg.pc")},

@@ -68,9 +68,11 @@ func usage() {
 	os.Exit(2)
 }
 
-// kindOf reads the index kind byte from a file's metadata without type
-// assumptions, by trying each opener.
+// opened is a kind-agnostically reopened index: the interface handle for
+// the shared operations plus the one concrete pointer matching its kind,
+// filled in by a type switch over what pathcache.Open returned.
 type opened struct {
+	ix    pathcache.Index
 	kind  string
 	two   *pathcache.TwoSidedIndex
 	three *pathcache.ThreeSidedIndex
@@ -81,42 +83,33 @@ type opened struct {
 }
 
 func openAny(path string) (*opened, error) {
-	if ix, err := pathcache.OpenTwoSidedIndex(path); err == nil {
-		return &opened{kind: "twosided", two: ix}, nil
+	ix, err := pathcache.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	if ix, err := pathcache.OpenThreeSidedIndex(path); err == nil {
-		return &opened{kind: "threeside", three: ix}, nil
+	o := &opened{ix: ix, kind: ix.Kind()}
+	switch v := ix.(type) {
+	case *pathcache.TwoSidedIndex:
+		o.two = v
+	case *pathcache.ThreeSidedIndex:
+		o.three = v
+	case *pathcache.StabbingIndex:
+		o.stab = v
+	case *pathcache.SegmentIndex:
+		o.seg = v
+	case *pathcache.IntervalIndex:
+		o.itv = v
+	case *pathcache.WindowIndex:
+		o.win = v
+	default:
+		ix.Close()
+		return nil, fmt.Errorf("%s: unsupported index kind %q", path, ix.Kind())
 	}
-	if ix, err := pathcache.OpenStabbingIndex(path); err == nil {
-		return &opened{kind: "stabbing", stab: ix}, nil
-	}
-	if ix, err := pathcache.OpenSegmentIndex(path); err == nil {
-		return &opened{kind: "segment", seg: ix}, nil
-	}
-	if ix, err := pathcache.OpenIntervalIndex(path); err == nil {
-		return &opened{kind: "interval", itv: ix}, nil
-	}
-	if ix, err := pathcache.OpenWindowIndex(path); err == nil {
-		return &opened{kind: "window", win: ix}, nil
-	}
-	return nil, fmt.Errorf("%s: not a reopenable pathcache index", path)
+	return o, nil
 }
 
 func (o *opened) close() {
-	switch o.kind {
-	case "twosided":
-		o.two.Close()
-	case "threeside":
-		o.three.Close()
-	case "stabbing":
-		o.stab.Close()
-	case "segment":
-		o.seg.Close()
-	case "interval":
-		o.itv.Close()
-	case "window":
-		o.win.Close()
-	}
+	o.ix.Close()
 }
 
 func runBuild(args []string) error {
@@ -251,67 +244,63 @@ func runQuery(args []string) error {
 		}
 	}
 
+	// Profile variants report the page reads this one operation caused via
+	// an op-scoped counter, rather than diffing the store-global stats.
 	switch o.kind {
 	case "twosided":
 		if len(nums) != 2 {
 			return fmt.Errorf("2-sided query needs 'a b'")
 		}
-		o.two.ResetStats()
-		res, err := o.two.Query(nums[0], nums[1])
+		res, prof, err := o.two.QueryProfile(nums[0], nums[1])
 		if err != nil {
 			return err
 		}
-		printPts(res, o.two.Stats().Reads)
+		printPts(res, prof.Reads)
 	case "threeside":
 		if len(nums) != 3 {
 			return fmt.Errorf("3-sided query needs 'a1 a2 b'")
 		}
-		o.three.ResetStats()
-		res, err := o.three.Query(nums[0], nums[1], nums[2])
+		res, prof, err := o.three.QueryProfile(nums[0], nums[1], nums[2])
 		if err != nil {
 			return err
 		}
-		printPts(res, o.three.Stats().Reads)
+		printPts(res, prof.Reads)
 	case "stabbing":
 		if len(nums) != 1 {
 			return fmt.Errorf("stabbing query needs 'q'")
 		}
-		o.stab.ResetStats()
-		res, err := o.stab.Stab(nums[0])
+		res, prof, err := o.stab.StabProfile(nums[0])
 		if err != nil {
 			return err
 		}
-		printIvs(res, o.stab.Stats().Reads)
+		printIvs(res, prof.Reads)
 	case "segment":
 		if len(nums) != 1 {
 			return fmt.Errorf("stabbing query needs 'q'")
 		}
-		o.seg.ResetStats()
-		res, err := o.seg.Stab(nums[0])
+		res, prof, err := o.seg.StabProfile(nums[0])
 		if err != nil {
 			return err
 		}
-		printIvs(res, o.seg.Stats().Reads)
+		printIvs(res, prof.Reads)
 	case "interval":
 		if len(nums) != 1 {
 			return fmt.Errorf("stabbing query needs 'q'")
 		}
-		o.itv.ResetStats()
-		res, err := o.itv.Stab(nums[0])
+		res, prof, err := o.itv.StabProfile(nums[0])
 		if err != nil {
 			return err
 		}
-		printIvs(res, o.itv.Stats().Reads)
+		printIvs(res, prof.Reads)
 	case "window":
 		if len(nums) != 4 {
 			return fmt.Errorf("window query needs 'x1 x2 y1 y2'")
 		}
-		o.win.ResetStats()
-		res, err := o.win.Query(nums[0], nums[1], nums[2], nums[3])
+		res, prof, err := o.win.QueryProfile(nums[0], nums[1], nums[2], nums[3])
 		if err != nil {
 			return err
 		}
-		printPts(res, o.win.Stats().Reads)
+		printPts(res, prof.Reads)
 	}
 	return nil
 }
@@ -330,28 +319,14 @@ func runInfo(args []string) error {
 		return err
 	}
 	defer o.close()
-	var n, pages int
-	switch o.kind {
-	case "twosided":
-		n, pages = o.two.Len(), o.two.Pages()
-		fmt.Printf("kind: 2-sided (%s scheme)\n", o.two.Scheme())
-	case "threeside":
-		n, pages = o.three.Len(), o.three.Pages()
-		fmt.Println("kind: 3-sided")
-	case "stabbing":
-		n, pages = o.stab.Len(), o.stab.Pages()
-		fmt.Println("kind: stabbing")
-	case "segment":
-		n, pages = o.seg.Len(), o.seg.Pages()
-		fmt.Println("kind: segment tree")
-	case "interval":
-		n, pages = o.itv.Len(), o.itv.Pages()
-		fmt.Println("kind: interval tree")
-	case "window":
-		n, pages = o.win.Len(), o.win.Pages()
-		fmt.Println("kind: 4-sided window")
+	// The registry kind name is the stable identifier; the 2-sided kind
+	// additionally reports which flat scheme the file persists.
+	if o.kind == "twosided" {
+		fmt.Printf("kind: %s (%s scheme)\n", o.kind, o.two.Scheme())
+	} else {
+		fmt.Printf("kind: %s\n", o.kind)
 	}
-	fmt.Printf("records: %d\npages: %d\n", n, pages)
+	fmt.Printf("records: %d\npages: %d\n", o.ix.Len(), o.ix.Pages())
 	return nil
 }
 

@@ -55,7 +55,7 @@ func TestBuildQueryInfoEndToEnd(t *testing.T) {
 		t.Fatalf("query output: %s", out)
 	}
 	out = run(t, bin, "info", "-in", twoPC)
-	if !strings.Contains(out, "records: 4") || !strings.Contains(out, "2-sided") {
+	if !strings.Contains(out, "records: 4") || !strings.Contains(out, "kind: twosided") {
 		t.Fatalf("info output: %s", out)
 	}
 
@@ -117,7 +117,7 @@ func TestWindowTypeEndToEnd(t *testing.T) {
 		t.Fatalf("window query output: %s", out)
 	}
 	out = run(t, bin, "info", "-in", pc)
-	if !strings.Contains(out, "4-sided window") {
+	if !strings.Contains(out, "kind: window") {
 		t.Fatalf("info output: %s", out)
 	}
 }

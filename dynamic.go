@@ -9,21 +9,21 @@ import (
 // DynamicIndex is the fully dynamic 2-sided index of Theorem 5.1:
 // O(log_B n + t/B) queries, amortized O(log_B n) insertions and deletions.
 type DynamicIndex struct {
-	be  *backend
+	core
 	idx *dynpst.Tree
 }
 
 // NewDynamicIndex creates an empty dynamic 2-sided index.
 func NewDynamicIndex(opts *Options) (*DynamicIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := dynpst.New(be.pager)
+	idx, err := dynpst.New(c.be.Pager())
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	return &DynamicIndex{be: be, idx: idx}, nil
+	return &DynamicIndex{core: c, idx: idx}, nil
 }
 
 // BulkLoad replaces the index's entire contents with pts — one bottom-up
@@ -69,10 +69,4 @@ func (ix *DynamicIndex) Query(a, b int64) ([]Point, error) {
 func (ix *DynamicIndex) Len() int { return ix.idx.Len() }
 
 // Pages reports the storage footprint in pages.
-func (ix *DynamicIndex) Pages() int { return ix.be.store.NumPages() }
-
-// Stats reports the cumulative I/O counters of the underlying store.
-func (ix *DynamicIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *DynamicIndex) ResetStats() { ix.be.resetStats() }
+func (ix *DynamicIndex) Pages() int { return ix.be.NumPages() }

@@ -11,21 +11,21 @@ import (
 // inside the theorem's O(log_B n·log² B) budget (see DESIGN.md §4 for the
 // buffered-rebuild rendition this uses).
 type DynamicThreeSidedIndex struct {
-	be  *backend
+	core
 	idx *dyn3side.Tree
 }
 
 // NewDynamicThreeSidedIndex creates an empty dynamic 3-sided index.
 func NewDynamicThreeSidedIndex(opts *Options) (*DynamicThreeSidedIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := dyn3side.New(be.pager)
+	idx, err := dyn3side.New(c.be.Pager())
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	return &DynamicThreeSidedIndex{be: be, idx: idx}, nil
+	return &DynamicThreeSidedIndex{core: c, idx: idx}, nil
 }
 
 // BulkLoad replaces the index's entire contents with pts — one build
@@ -66,13 +66,4 @@ func (ix *DynamicThreeSidedIndex) Query(a1, a2, b int64) ([]Point, error) {
 func (ix *DynamicThreeSidedIndex) Len() int { return ix.idx.Len() }
 
 // Pages reports the storage footprint in pages.
-func (ix *DynamicThreeSidedIndex) Pages() int { return ix.be.store.NumPages() }
-
-// Stats reports the cumulative I/O counters.
-func (ix *DynamicThreeSidedIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *DynamicThreeSidedIndex) ResetStats() { ix.be.resetStats() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *DynamicThreeSidedIndex) Close() error { return ix.be.close() }
+func (ix *DynamicThreeSidedIndex) Pages() int { return ix.be.NumPages() }

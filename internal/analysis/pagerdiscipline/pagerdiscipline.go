@@ -3,16 +3,25 @@
 // with, and never retain aliases of page buffers past the read that produced
 // them.
 //
-// Two families of violations are reported:
+// Three families of violations are reported:
 //
-//  1. Direct *disk.Store page I/O (Read/Write/Alloc/Free) from an index
-//     package. Structures hold a disk.Pager; reaching beneath it — for
-//     example via a type assertion — bypasses the buffer pool, fault
-//     injection, and latency wrappers, so measured I/O counts no longer mean
-//     what the theorems assume. Metadata methods (PageSize, Stats, NumPages,
-//     ResetStats) stay legal: they transfer no pages.
+//  1. Direct *disk.Store or *disk.FileStore page I/O (Read/Write/Alloc/Free)
+//     from an index package. Structures hold a disk.Pager; reaching beneath
+//     it — for example via a type assertion — bypasses the buffer pool,
+//     fault injection, and latency wrappers, so measured I/O counts no
+//     longer mean what the theorems assume. Metadata methods (PageSize,
+//     Stats, NumPages, ResetStats) stay legal: they transfer no pages.
+//     internal/engine is exempt from the FileStore half: its meta page is
+//     deliberately written beneath the pager view.
 //
-//  2. Escaping aliases of the record slice handed to a disk.ScanChain
+//  2. disk.WithCounter applied to a concrete store rather than the
+//     structure's disk.Pager. The op counter must observe the same view the
+//     structure reads through — wrapping the raw store beneath a buffer
+//     pool would bill every access as a transfer, including cache hits the
+//     store-level aggregate never sees, so per-operation counts would no
+//     longer sum to the store diff.
+//
+//  3. Escaping aliases of the record slice handed to a disk.ScanChain
 //     callback. That slice aliases a single page buffer that is overwritten
 //     by the next page read; any copy-free retention (assignment to an outer
 //     variable, append of the slice value, storing it in a field, returning
@@ -46,6 +55,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			checkStoreBypass(pass, call)
+			checkCounterWrap(pass, call)
 			checkScanChainCallback(pass, call)
 			return true
 		})
@@ -53,23 +63,64 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkStoreBypass flags page I/O invoked on a concrete *disk.Store. Calls
-// through the disk.Pager interface resolve to the interface method and are
-// not matched.
+// checkStoreBypass flags page I/O invoked on a concrete *disk.Store or
+// *disk.FileStore. Calls through the disk.Pager interface resolve to the
+// interface method and are not matched. The engine package may drive the
+// FileStore directly: the metadata page lives outside the pager view by
+// design, and engine is where that exception is implemented.
 func checkStoreBypass(pass *analysis.Pass, call *ast.CallExpr) {
 	fn := analysis.CalleeOf(pass.TypesInfo, call)
 	if fn == nil || !storeIOMethods[fn.Name()] {
 		return
 	}
 	named := analysis.RecvNamed(fn)
-	if named == nil || named.Obj().Name() != "Store" || !analysis.PkgIs(named.Obj().Pkg(), "internal/disk") {
+	if named == nil || !analysis.PkgIs(named.Obj().Pkg(), "internal/disk") {
 		return
 	}
 	if _, isIface := named.Underlying().(*types.Interface); isIface {
 		return
 	}
+	switch named.Obj().Name() {
+	case "Store":
+	case "FileStore":
+		if analysis.PkgIs(pass.Pkg, "internal/engine") {
+			return
+		}
+	default:
+		return
+	}
 	pass.Reportf(call.Pos(),
-		"direct disk.Store.%s bypasses the structure's Pager: I/O accounting, the buffer pool, and fault injection are all skipped; call through the disk.Pager the structure was built with", fn.Name())
+		"direct disk.%s.%s bypasses the structure's Pager: I/O accounting, the buffer pool, and fault injection are all skipped; call through the disk.Pager the structure was built with", named.Obj().Name(), fn.Name())
+}
+
+// checkCounterWrap flags disk.WithCounter applied to a concrete store. Op
+// attribution must wrap the disk.Pager the structure was built with so the
+// counter sees exactly the transfers the store-level aggregate sees; a
+// counter strapped onto the raw store beneath a buffer pool also bills
+// cache hits, and the per-operation counts stop summing to the store diff.
+func checkCounterWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "WithCounter" || !analysis.PkgIs(fn.Pkg(), "internal/disk") {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // the pool's WithCounter method wraps an accounted view already
+	}
+	if len(call.Args) < 1 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Args[0])
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !analysis.PkgIs(named.Obj().Pkg(), "internal/disk") {
+		return
+	}
+	if name := named.Obj().Name(); name == "Store" || name == "FileStore" {
+		pass.Reportf(call.Pos(),
+			"disk.WithCounter on a concrete disk.%s: wrap the structure's disk.Pager so the op counter sees the same view (pool included) the store-level stats see", name)
+	}
 }
 
 // checkScanChainCallback analyzes the func literal passed to disk.ScanChain

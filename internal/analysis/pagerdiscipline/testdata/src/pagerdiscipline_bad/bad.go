@@ -31,6 +31,27 @@ func bypassWrite(s *disk.Store, buf []byte) error {
 	return s.Write(id, buf) // want `direct disk\.Store\.Write bypasses`
 }
 
+// bypassFile drives the file-backed store directly; outside the engine
+// package the metadata exception does not apply.
+func bypassFile(fs *disk.FileStore, buf []byte) error {
+	id, err := fs.Alloc() // want `direct disk\.FileStore\.Alloc bypasses`
+	if err != nil {
+		return err
+	}
+	if err := fs.Write(id, buf); err != nil { // want `direct disk\.FileStore\.Write bypasses`
+		return err
+	}
+	return fs.Read(id, buf) // want `direct disk\.FileStore\.Read bypasses`
+}
+
+// countRawStore straps the op counter onto concrete stores instead of the
+// structure's pager view.
+func countRawStore(s *disk.Store, fs *disk.FileStore, c *disk.Counter) (disk.Pager, disk.Pager) {
+	a := disk.WithCounter(s, c)  // want `disk\.WithCounter on a concrete disk\.Store`
+	b := disk.WithCounter(fs, c) // want `disk\.WithCounter on a concrete disk\.FileStore`
+	return a, b
+}
+
 // retain leaks the per-record slice out of a ScanChain callback in every
 // way the analyzer models.
 func (ix *index) retain(head disk.PageID) ([]byte, error) {

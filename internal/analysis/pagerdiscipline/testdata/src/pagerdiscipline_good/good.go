@@ -30,6 +30,12 @@ func statsOnly(p disk.Pager) (int, int64) {
 	return -1, 0
 }
 
+// countThroughPager attributes an operation's I/O the approved way: the
+// counter wraps the same disk.Pager view the structure reads through.
+func countThroughPager(p disk.Pager, c *disk.Counter, id disk.PageID, buf []byte) error {
+	return disk.WithCounter(p, c).Read(id, buf)
+}
+
 // scan decodes and copies records instead of retaining aliases.
 func (ix *index) scan(head disk.PageID) ([]record.Point, []byte, error) {
 	var pts []record.Point

@@ -180,6 +180,16 @@ func childIndex(seps []Entry, e Entry) int {
 // Len reports the number of entries.
 func (t *Tree) Len() int { return t.size }
 
+// WithPager returns a read-only view of the tree whose page reads go
+// through p — the hook for per-operation I/O attribution during concurrent
+// Search/Range batches. The view snapshots the root and height, so it must
+// not be used for Insert/Delete and goes stale once the original mutates.
+func (t *Tree) WithPager(p disk.Pager) *Tree {
+	c := *t
+	c.pager = p
+	return &c
+}
+
 // Height reports the number of levels below the root.
 func (t *Tree) Height() int { return t.height }
 

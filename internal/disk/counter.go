@@ -1,0 +1,134 @@
+package disk
+
+import "sync/atomic"
+
+// Counter accumulates the page transfers of one logical operation — a
+// single query, one batch worker's share of a batch, or any other unit the
+// caller wants attributed exactly. It is the op-scoped counterpart of the
+// store-global Stats counters: wrap the pager an operation uses with
+// WithCounter and every transfer that operation causes lands here, exact
+// under arbitrary concurrency, while the store's own aggregate counters keep
+// counting as before.
+//
+// A Counter is safe for concurrent use; the zero value is ready.
+type Counter struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+	frees  atomic.Int64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Counter) Stats() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (c *Counter) Reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
+}
+
+// The add helpers are nil-tolerant so shared code paths (the buffer pool's
+// counted and uncounted entry points) can thread an optional counter without
+// branching at every increment site.
+
+func (c *Counter) addRead() {
+	if c != nil {
+		c.reads.Add(1)
+	}
+}
+
+func (c *Counter) addWrite() {
+	if c != nil {
+		c.writes.Add(1)
+	}
+}
+
+func (c *Counter) addAlloc() {
+	if c != nil {
+		c.allocs.Add(1)
+	}
+}
+
+func (c *Counter) addFree() {
+	if c != nil {
+		c.frees.Add(1)
+	}
+}
+
+// counterPager is implemented by pagers that can attribute their underlying
+// store transfers to a per-operation Counter more precisely than an outer
+// wrapper could. The BufferPool implements it so that pool hits cost an
+// operation nothing and only real store transfers (miss fills, eviction
+// write-backs) are attributed.
+type counterPager interface {
+	WithCounter(*Counter) Pager
+}
+
+// WithCounter returns a view of p that attributes every page transfer it
+// performs to c in addition to p's own accounting. Hand each concurrent
+// operation its own counted view over the shared pager and the per-operation
+// counts are exact: their sum equals the store-level Stats difference over
+// the same window, because every transfer is counted by exactly one view.
+//
+// When p knows how to attribute more precisely (the BufferPool counts only
+// actual store transfers, not cache hits), its own op view is returned;
+// otherwise a transparent decorator counts each successful call. Wrap the
+// Pager the structure was built with — wrapping the raw store underneath a
+// pool would count transfers the pool absorbs.
+func WithCounter(p Pager, c *Counter) Pager {
+	if v, ok := p.(counterPager); ok {
+		return v.WithCounter(c)
+	}
+	return &countedPager{p: p, c: c}
+}
+
+// countedPager is the transparent decorator: one successful Read/Write is
+// one counted transfer, mirroring how the Store and FileStore count
+// themselves, so the op counters stay in lockstep with the store aggregate.
+type countedPager struct {
+	p Pager
+	c *Counter
+}
+
+func (cp *countedPager) PageSize() int { return cp.p.PageSize() }
+
+func (cp *countedPager) Alloc() (PageID, error) {
+	id, err := cp.p.Alloc()
+	if err == nil {
+		cp.c.addAlloc()
+	}
+	return id, err
+}
+
+func (cp *countedPager) Free(id PageID) error {
+	if err := cp.p.Free(id); err != nil {
+		return err
+	}
+	cp.c.addFree()
+	return nil
+}
+
+func (cp *countedPager) Read(id PageID, buf []byte) error {
+	if err := cp.p.Read(id, buf); err != nil {
+		return err
+	}
+	cp.c.addRead()
+	return nil
+}
+
+func (cp *countedPager) Write(id PageID, buf []byte) error {
+	if err := cp.p.Write(id, buf); err != nil {
+		return err
+	}
+	cp.c.addWrite()
+	return nil
+}

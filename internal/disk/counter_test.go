@@ -1,0 +1,208 @@
+package disk
+
+import (
+	"sync"
+	"testing"
+)
+
+// A counted view over the raw store must count exactly what the store
+// counts: one successful call, one increment, and failed calls nothing.
+func TestCounterOverStore(t *testing.T) {
+	s := MustStore(128)
+	var c Counter
+	p := WithCounter(s, &c)
+
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := p.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Read(InvalidPage, buf); err == nil {
+		t.Fatal("read of invalid page succeeded")
+	}
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	got, want := c.Stats(), (Stats{Reads: 1, Writes: 1, Allocs: 1, Frees: 1})
+	if got != want {
+		t.Fatalf("counter = %v, want %v", got, want)
+	}
+	if ss := s.Stats(); ss != want {
+		t.Fatalf("store = %v, want %v (counter and store must agree)", ss, want)
+	}
+	c.Reset()
+	if got := c.Stats(); got != (Stats{}) {
+		t.Fatalf("after Reset: %v", got)
+	}
+}
+
+// Concurrent operations, each through its own counted view of one shared
+// store, must attribute every transfer to exactly one counter: the sum of
+// the per-op counters equals the store-level diff.
+func TestCounterConcurrentExact(t *testing.T) {
+	s := MustStore(128)
+	const pages = 64
+	ids := make([]PageID, pages)
+	buf := make([]byte, 128)
+	for i := range ids {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+
+	const workers = 8
+	counters := make([]Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := WithCounter(s, &counters[w])
+			b := make([]byte, 128)
+			for i := 0; i < 200; i++ {
+				if err := p.Read(ids[(w*31+i)%pages], b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var sum Stats
+	for w := range counters {
+		cs := counters[w].Stats()
+		if cs.Reads != 200 {
+			t.Fatalf("worker %d reads = %d, want 200", w, cs.Reads)
+		}
+		sum.Reads += cs.Reads
+		sum.Writes += cs.Writes
+	}
+	d := s.Stats().Sub(before)
+	if sum.Reads != d.Reads || sum.Writes != d.Writes {
+		t.Fatalf("op counters sum to %+v, store diff %+v", sum, d)
+	}
+}
+
+// Through a buffer pool, an operation is charged only for the store
+// transfers it causes: miss fills and the eviction write-backs they force.
+// Hits are free.
+func TestCounterThroughPoolHitsFree(t *testing.T) {
+	s := MustStore(128)
+	pool, err := NewBufferPool(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	id, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var c Counter
+	p := WithCounter(pool, &c)
+	if _, ok := p.(*poolOpView); !ok {
+		t.Fatalf("WithCounter over a pool returned %T, want the pool's own op view", p)
+	}
+	if err := p.Read(id, buf); err != nil { // cold: one store read
+		t.Fatal(err)
+	}
+	if err := p.Read(id, buf); err != nil { // hit: free
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Reads != 1 || got.Writes != 0 {
+		t.Fatalf("pool op counter = %v, want exactly 1 read", got)
+	}
+}
+
+// Under a pool small enough to evict, concurrent counted operations still
+// attribute every store transfer to exactly one counter: the per-op sums
+// equal the store-level diff even while write-backs interleave with misses.
+func TestCounterThroughPoolConcurrentExact(t *testing.T) {
+	s := MustStore(128)
+	pool, err := NewBufferPoolShards(s, 8, 2) // tiny: constant eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 64
+	ids := make([]PageID, pages)
+	buf := make([]byte, 128)
+	for i := range ids {
+		id, err := pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := pool.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+
+	const workers = 6
+	counters := make([]Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := WithCounter(pool, &counters[w])
+			b := make([]byte, 128)
+			for i := 0; i < 300; i++ {
+				id := ids[(w*17+i*7)%pages]
+				if i%5 == 4 {
+					if err := p.Write(id, b); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := p.Read(id, b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := pool.Flush(); err != nil { // write-backs outside any op: not attributed
+		t.Fatal(err)
+	}
+
+	var sum Stats
+	for w := range counters {
+		cs := counters[w].Stats()
+		if cs.Reads < 0 || cs.Writes < 0 {
+			t.Fatalf("worker %d negative counts: %v", w, cs)
+		}
+		sum.Reads += cs.Reads
+		sum.Writes += cs.Writes
+	}
+	d := s.Stats().Sub(before)
+	if sum.Reads != d.Reads {
+		t.Fatalf("op reads sum %d != store read diff %d", sum.Reads, d.Reads)
+	}
+	// Flush wrote back the frames still dirty at the end; those writes are
+	// in the store diff but attributed to no operation.
+	if sum.Writes > d.Writes {
+		t.Fatalf("op writes sum %d exceeds store write diff %d", sum.Writes, d.Writes)
+	}
+}

@@ -154,7 +154,9 @@ func (p *BufferPool) Alloc() (PageID, error) { return p.store.Alloc() }
 
 // Free drops any cached copy (discarding dirty data — the page is going
 // away) and releases the page in the store.
-func (p *BufferPool) Free(id PageID) error {
+func (p *BufferPool) Free(id PageID) error { return p.free(id, nil) }
+
+func (p *BufferPool) free(id PageID, c *Counter) error {
 	sh := p.shard(id)
 	sh.mu.Lock()
 	if el, ok := sh.frames[id]; ok {
@@ -162,11 +164,19 @@ func (p *BufferPool) Free(id PageID) error {
 		delete(sh.frames, id)
 	}
 	sh.mu.Unlock()
-	return p.store.Free(id)
+	if err := p.store.Free(id); err != nil {
+		return err
+	}
+	c.addFree()
+	return nil
 }
 
 // Read returns the page contents, from cache when possible.
-func (p *BufferPool) Read(id PageID, buf []byte) error {
+func (p *BufferPool) Read(id PageID, buf []byte) error { return p.read(id, buf, nil) }
+
+// read is the counted entry point: a hit is free for the operation, a miss
+// attributes the store read (and any eviction write-back it forces) to c.
+func (p *BufferPool) read(id PageID, buf []byte, c *Counter) error {
 	if len(buf) < p.store.PageSize() {
 		return ErrShortBuf
 	}
@@ -190,8 +200,9 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 	if err := p.store.Read(id, data); err != nil {
 		return err
 	}
+	c.addRead()
 	//pcvet:allow lockheldio -- insert under the shard latch; eviction write-back is the sanctioned exception
-	if err := p.insert(sh, &frame{id: id, data: data}); err != nil {
+	if err := p.insert(sh, &frame{id: id, data: data}, c); err != nil {
 		return err
 	}
 	copy(buf, data)
@@ -200,7 +211,9 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 
 // Write updates the cached page, marking it dirty; the store is updated on
 // eviction or Flush.
-func (p *BufferPool) Write(id PageID, buf []byte) error {
+func (p *BufferPool) Write(id PageID, buf []byte) error { return p.write(id, buf, nil) }
+
+func (p *BufferPool) write(id PageID, buf []byte, c *Counter) error {
 	ps := p.store.PageSize()
 	if len(buf) < ps {
 		return ErrShortBuf
@@ -220,16 +233,46 @@ func (p *BufferPool) Write(id PageID, buf []byte) error {
 	data := make([]byte, ps)
 	copy(data, buf[:ps])
 	//pcvet:allow lockheldio -- insert under the shard latch; eviction write-back is the sanctioned exception
-	return p.insert(sh, &frame{id: id, data: data, dirty: true})
+	return p.insert(sh, &frame{id: id, data: data, dirty: true}, c)
 }
+
+// WithCounter returns a Pager view of the pool that attributes the store
+// transfers each access actually causes — miss fills and the eviction
+// write-backs they force — to c. Cache hits are free for the operation.
+// Many views over one pool may run concurrently; each transfer lands on
+// exactly one counter, so per-operation counts sum to the store-level diff.
+func (p *BufferPool) WithCounter(c *Counter) Pager { return &poolOpView{p: p, c: c} }
+
+// poolOpView is the per-operation handle WithCounter returns.
+type poolOpView struct {
+	p *BufferPool
+	c *Counter
+}
+
+func (v *poolOpView) PageSize() int { return v.p.PageSize() }
+
+func (v *poolOpView) Alloc() (PageID, error) {
+	id, err := v.p.store.Alloc()
+	if err == nil {
+		v.c.addAlloc()
+	}
+	return id, err
+}
+
+func (v *poolOpView) Free(id PageID) error { return v.p.free(id, v.c) }
+
+func (v *poolOpView) Read(id PageID, buf []byte) error { return v.p.read(id, buf, v.c) }
+
+func (v *poolOpView) Write(id PageID, buf []byte) error { return v.p.write(id, buf, v.c) }
 
 // insert adds a frame to sh, evicting the shard's LRU victim if the shard is
 // full. Caller holds sh.mu. A dirty victim is written back first; if that
 // write fails (an injected fault, or a real device error once the store is a
 // file) the victim stays resident and dirty — dropping the frame would lose
 // the only up-to-date copy of the page — and the error propagates to the
-// access that triggered the eviction.
-func (p *BufferPool) insert(sh *poolShard, f *frame) error {
+// access that triggered the eviction. That access's counter c (may be nil)
+// is charged for the write-back: the op that forces an eviction pays for it.
+func (p *BufferPool) insert(sh *poolShard, f *frame, c *Counter) error {
 	for sh.lru.Len() >= sh.capacity {
 		victim := sh.lru.Back()
 		vf := victim.Value.(*frame)
@@ -239,6 +282,7 @@ func (p *BufferPool) insert(sh *poolShard, f *frame) error {
 				return fmt.Errorf("disk: writing back page %d on eviction: %w", vf.id, err)
 			}
 			vf.dirty = false
+			c.addWrite()
 		}
 		sh.lru.Remove(victim)
 		delete(sh.frames, vf.id)

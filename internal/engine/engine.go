@@ -1,0 +1,155 @@
+// Package engine is the storage core shared by every public index type:
+// the backend (store, optional buffer pool, optional backing file), the
+// metadata page that makes a file self-describing, and the kind registry
+// that maps on-disk kind bytes to index openers.
+//
+// The package splits responsibilities with the public pathcache package as
+// follows: engine owns construction, teardown, aggregate I/O accounting and
+// persistence plumbing; pathcache owns the query structures and registers
+// one registry descriptor per persisted kind.
+package engine
+
+import (
+	"fmt"
+
+	"pathcache/internal/disk"
+)
+
+// DefaultPageSize is used when Config.PageSize is zero.
+const DefaultPageSize = 4096
+
+// Metered is the store interface a backend needs: paging plus counters.
+type Metered interface {
+	disk.Pager
+	Stats() disk.Stats
+	NumPages() int
+	ResetStats()
+}
+
+// Backend bundles the store every index builds on. The zero value is not
+// usable; construct with New or Open.
+type Backend struct {
+	store Metered
+	pager disk.Pager
+	pool  *disk.BufferPool
+	file  *disk.FileStore // non-nil when the backend is file-backed
+}
+
+// Config selects the store behind a new backend.
+type Config struct {
+	// PageSize is the disk page size in bytes; zero selects
+	// DefaultPageSize and negative values are rejected.
+	PageSize int
+	// BufferPoolPages, when positive, interposes a sharded LRU buffer pool
+	// of that many frames; zero means no pool and negative values are
+	// rejected.
+	BufferPoolPages int
+	// Path, when set, backs the store with a real file.
+	Path string
+	// File, when set, backs the store with a FileStore created on this
+	// File — the hook crash harnesses use to interpose fault injectors.
+	// Takes precedence over Path.
+	File disk.File
+	// WrapPager, when set, wraps the pager every structure sees — the
+	// fault-injection hook.
+	WrapPager func(disk.Pager) disk.Pager
+}
+
+// New builds a backend from cfg. Errors are returned unwrapped; the public
+// layer adds its package prefix.
+func New(cfg Config) (*Backend, error) {
+	if cfg.PageSize < 0 {
+		return nil, fmt.Errorf("invalid PageSize %d: must be positive (zero selects the default %d)", cfg.PageSize, DefaultPageSize)
+	}
+	if cfg.BufferPoolPages < 0 {
+		return nil, fmt.Errorf("invalid BufferPoolPages %d: must be positive (zero disables the pool)", cfg.BufferPoolPages)
+	}
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	be := &Backend{}
+	switch {
+	case cfg.File != nil:
+		fs, err := disk.CreateFileStoreOn(cfg.File, ps)
+		if err != nil {
+			return nil, err
+		}
+		be.store, be.file = fs, fs
+	case cfg.Path != "":
+		fs, err := disk.CreateFileStore(cfg.Path, ps)
+		if err != nil {
+			return nil, err
+		}
+		be.store, be.file = fs, fs
+	default:
+		store, err := disk.NewStore(ps)
+		if err != nil {
+			return nil, err
+		}
+		be.store = store
+	}
+	be.pager = be.store
+	if cfg.BufferPoolPages > 0 {
+		bp, err := disk.NewBufferPool(be.store, cfg.BufferPoolPages)
+		if err != nil {
+			return nil, err
+		}
+		be.pager = bp
+		be.pool = bp
+	}
+	if cfg.WrapPager != nil {
+		be.pager = cfg.WrapPager(be.pager)
+	}
+	return be, nil
+}
+
+// Open attaches a backend to an existing index file. Like New, errors come
+// back unwrapped.
+func Open(path string) (*Backend, error) {
+	fs, err := disk.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{store: fs, pager: fs, file: fs}, nil
+}
+
+// Pager is the pager index structures build on and query through.
+func (be *Backend) Pager() disk.Pager { return be.pager }
+
+// OpPager returns a view of the backend's pager that attributes every page
+// transfer it causes to c — the per-operation accounting hook. Views are
+// cheap and safe for concurrent use (each operation should get its own
+// counter).
+func (be *Backend) OpPager(c *disk.Counter) disk.Pager {
+	return disk.WithCounter(be.pager, c)
+}
+
+// Stats snapshots the store-level aggregate I/O counters.
+func (be *Backend) Stats() disk.Stats { return be.store.Stats() }
+
+// NumPages reports the number of live pages in the store.
+func (be *Backend) NumPages() int { return be.store.NumPages() }
+
+// ResetStats zeroes the store's I/O counters (and the buffer pool's when
+// one is configured).
+func (be *Backend) ResetStats() {
+	be.store.ResetStats()
+	if be.pool != nil {
+		be.pool.ResetStats()
+	}
+}
+
+// Close flushes and closes a file-backed backend (no-op for in-memory).
+// Errors are returned unwrapped.
+func (be *Backend) Close() error {
+	if be.pool != nil {
+		if err := be.pool.Flush(); err != nil {
+			return err
+		}
+	}
+	if be.file != nil {
+		return be.file.Close()
+	}
+	return nil
+}

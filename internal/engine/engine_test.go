@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathcache/internal/disk"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" means success
+	}{
+		{"defaults", Config{}, ""},
+		{"negative page size", Config{PageSize: -1}, "invalid PageSize -1"},
+		{"negative pool", Config{BufferPoolPages: -8}, "invalid BufferPoolPages -8"},
+		{"page size below minimum", Config{PageSize: disk.MinPageSize / 2}, "page size too small"},
+		{"pool of one frame", Config{BufferPoolPages: 1}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			be, err := New(tc.cfg)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("New(%+v) = %v, want success", tc.cfg, err)
+				}
+				if err := be.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				be.Close()
+				t.Fatalf("New(%+v) succeeded, want error containing %q", tc.cfg, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New(%+v) = %q, want error containing %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewDefaultPageSize(t *testing.T) {
+	be, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := be.Pager().PageSize(); got != DefaultPageSize {
+		t.Fatalf("PageSize() = %d, want %d", got, DefaultPageSize)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pc")
+	be, err := New(Config{Path: path, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("segment metadata blob")
+	if err := be.SaveMeta(3, blob); err != nil {
+		t.Fatalf("SaveMeta: %v", err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	be2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer be2.Close()
+	kind, got, err := be2.ReadKind()
+	if err != nil {
+		t.Fatalf("ReadKind: %v", err)
+	}
+	if kind != 3 || string(got) != string(blob) {
+		t.Fatalf("ReadKind = (%d, %q), want (3, %q)", kind, got, blob)
+	}
+	if got, err := be2.ReadMeta(3); err != nil || string(got) != string(blob) {
+		t.Fatalf("ReadMeta(3) = (%q, %v), want (%q, nil)", got, err, blob)
+	}
+}
+
+func TestReadMetaKindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pc")
+	be, err := New(Config{Path: path, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.SaveMeta(201, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = be.ReadMeta(202)
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("ReadMeta(202) = %v, want ErrKindMismatch", err)
+	}
+	// The message names both kinds so the mismatch is actionable even for
+	// callers that only surface the text.
+	for _, want := range []string{KindName(201), KindName(202)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error %q does not name kind %q", err, want)
+		}
+	}
+	be.Close()
+}
+
+func TestReadKindNoIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pc")
+	be, err := New(Config{Path: path, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	if _, _, err := be.ReadKind(); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("ReadKind on fresh file = %v, want ErrNoIndex", err)
+	}
+}
+
+func TestSaveMetaInMemoryNoop(t *testing.T) {
+	be, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.SaveMeta(1, []byte("ignored")); err != nil {
+		t.Fatalf("SaveMeta on in-memory backend = %v, want nil", err)
+	}
+}
+
+func TestSaveMetaBlobTooLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pc")
+	be, err := New(Config{Path: path, PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	blob := make([]byte, 4096)
+	if err := be.SaveMeta(1, blob); err == nil || !strings.Contains(err.Error(), "exceeds one page") {
+		t.Fatalf("SaveMeta(oversized) = %v, want exceeds-one-page error", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	d := Descriptor{
+		Kind: 250,
+		Name: "testkind",
+		Open: func(be *Backend, meta []byte) (any, error) { return string(meta), nil },
+	}
+	Register(d)
+	got, ok := Lookup(250)
+	if !ok || got.Name != "testkind" {
+		t.Fatalf("Lookup(250) = (%+v, %v), want registered descriptor", got, ok)
+	}
+	if name := KindName(250); name != "testkind" {
+		t.Fatalf("KindName(250) = %q, want %q", name, "testkind")
+	}
+	if name := KindName(251); name != "unknown(251)" {
+		t.Fatalf("KindName(251) = %q, want %q", name, "unknown(251)")
+	}
+	found := false
+	for _, k := range Kinds() {
+		if k.Kind == 250 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Kinds() does not include registered kind 250")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate kind", func() { Register(Descriptor{Kind: 250, Name: "other", Open: d.Open}) })
+	mustPanic("duplicate name", func() { Register(Descriptor{Kind: 251, Name: "testkind", Open: d.Open}) })
+	mustPanic("nil open", func() { Register(Descriptor{Kind: 252, Name: "noopen"}) })
+}
+
+func TestOpPagerAttributesToCounter(t *testing.T) {
+	be, err := New(Config{PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := be.Pager()
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, p.PageSize())
+	if err := p.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	be.ResetStats()
+
+	var c disk.Counter
+	op := be.OpPager(&c)
+	if err := op.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Reads != 1 {
+		t.Fatalf("counter reads = %d, want 1", s.Reads)
+	}
+	if s := be.Stats(); s.Reads != 1 {
+		t.Fatalf("store reads = %d, want 1", s.Reads)
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Descriptor describes one persisted index kind: its on-disk kind byte, its
+// stable human-readable name (used in verify reports and mismatch errors),
+// and how to rebuild the public index from an opened backend plus its
+// metadata blob.
+type Descriptor struct {
+	Kind byte
+	Name string
+	// Open rebuilds the public index wrapper on be from the metadata blob.
+	// The caller owns be and closes it on error — Open must not.
+	Open func(be *Backend, meta []byte) (any, error)
+}
+
+var (
+	regMu     sync.RWMutex
+	regByKind = map[byte]Descriptor{}
+	regByName = map[string]Descriptor{}
+)
+
+// Register adds a kind descriptor. Index packages call it from init, once
+// per kind; duplicate kinds or names and incomplete descriptors panic.
+func Register(d Descriptor) {
+	if d.Name == "" || d.Open == nil {
+		panic(fmt.Sprintf("engine: incomplete descriptor for kind %d", d.Kind))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := regByKind[d.Kind]; ok {
+		panic(fmt.Sprintf("engine: kind %d already registered as %q", d.Kind, prev.Name))
+	}
+	if _, ok := regByName[d.Name]; ok {
+		panic(fmt.Sprintf("engine: kind name %q already registered", d.Name))
+	}
+	regByKind[d.Kind] = d
+	regByName[d.Name] = d
+}
+
+// Lookup returns the descriptor registered for kind.
+func Lookup(kind byte) (Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := regByKind[kind]
+	return d, ok
+}
+
+// KindName returns the registered name for kind, or "unknown(kind)" for a
+// kind byte no descriptor claims.
+func KindName(kind byte) string {
+	if d, ok := Lookup(kind); ok {
+		return d.Name
+	}
+	return fmt.Sprintf("unknown(%d)", kind)
+}
+
+// Kinds returns every registered descriptor, ordered by kind byte.
+func Kinds() []Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Descriptor, 0, len(regByKind))
+	for _, d := range regByKind {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}

@@ -22,6 +22,10 @@ type PointIndex interface {
 	Len() int
 	// TotalPages reports the storage footprint in pages.
 	TotalPages() int
+	// WithPager returns a read-only view of the index whose queries go
+	// through p — the hook for per-operation I/O attribution: give each
+	// concurrent operation a view over disk.WithCounter(pager, c).
+	WithPager(p disk.Pager) PointIndex
 }
 
 // Hierarchical is the recursive scheme of Section 4. With two levels it is
@@ -317,6 +321,33 @@ func (h *Hierarchical) Levels() int { return h.levels }
 
 // B reports the page capacity in points.
 func (h *Hierarchical) B() int { return h.b }
+
+// WithPager implements PointIndex: the view rewires every level of the
+// hierarchy (each region's skeleton and sub-structure) onto p, so one
+// operation's reads are attributed wherever in the recursion they happen.
+func (h *Hierarchical) WithPager(p disk.Pager) PointIndex {
+	c := *h
+	c.pager = p
+	if c.root != nil {
+		c.root = h.root.WithPager(p)
+	}
+	return &c
+}
+
+// WithPager implements PointIndex for one level: the region skeleton and
+// every region's sub-structure are rewired onto p.
+func (rt *regionTree) WithPager(p disk.Pager) PointIndex {
+	c := *rt
+	c.pager = p
+	c.skel = rt.skel.WithPager(p)
+	if len(rt.subs) > 0 {
+		c.subs = make([]PointIndex, len(rt.subs))
+		for i, sub := range rt.subs {
+			c.subs[i] = sub.WithPager(p)
+		}
+	}
+	return &c
+}
 
 // Len implements PointIndex.
 func (rt *regionTree) Len() int { return rt.n }

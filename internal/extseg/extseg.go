@@ -259,8 +259,8 @@ func (t *Tree) Stab(q int64) ([]record.Interval, QueryStats, error) {
 	if t.n == 0 || q < t.lo || q >= t.hi {
 		return nil, st, nil
 	}
-	pre := pagerReads(t.pager)
-	path, err := t.skel.Descend(func(n skeletal.Node) skeletal.Dir {
+	w := t.skel.NewWalker()
+	path, err := w.Descend(t.skel.Root(), func(n skeletal.Node) skeletal.Dir {
 		if n.IsLeaf() {
 			return skeletal.Stop
 		}
@@ -272,7 +272,7 @@ func (t *Tree) Stab(q int64) ([]record.Interval, QueryStats, error) {
 	if err != nil {
 		return nil, st, err
 	}
-	st.PathPages = int(pagerReads(t.pager) - pre)
+	st.PathPages = w.PagesLoaded()
 
 	var out []record.Interval
 	scan := func(head disk.PageID, filter bool) error {
@@ -324,13 +324,13 @@ func (t *Tree) Stab(q int64) ([]record.Interval, QueryStats, error) {
 	return out, st, nil
 }
 
-// pagerReads reports the cumulative read count when the pager is a *Store;
-// pools report through their store. Used only for the PathPages statistic.
-func pagerReads(p disk.Pager) int64 {
-	if s, ok := p.(*disk.Store); ok {
-		return s.Stats().Reads
-	}
-	return 0
+// WithPager returns a read-only view of the tree whose queries run through
+// p — the hook for per-operation I/O attribution via disk.WithCounter.
+func (t *Tree) WithPager(p disk.Pager) *Tree {
+	c := *t
+	c.pager = p
+	c.skel = t.skel.WithPager(p)
+	return &c
 }
 
 // Len reports the number of indexed intervals.

@@ -189,6 +189,15 @@ func plDir(p []byte) (disk.PageID, int) {
 	return disk.PageID(binary.LittleEndian.Uint64(p[12:])), int(binary.LittleEndian.Uint32(p[20:]))
 }
 
+// WithPager returns a read-only view of the tree whose queries run through
+// p — the hook for per-operation I/O attribution via disk.WithCounter.
+func (t *Tree) WithPager(p disk.Pager) *Tree {
+	c := *t
+	c.pager = p
+	c.skel = t.skel.WithPager(p)
+	return &c
+}
+
 // Len reports the number of indexed points.
 func (t *Tree) Len() int { return t.n }
 

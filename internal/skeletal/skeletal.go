@@ -198,6 +198,17 @@ func (t *Tree) writeSub(n *BuildNode) (NodeRef, error) {
 	return NodeRef{Page: page, Idx: 0}, nil
 }
 
+// WithPager returns a read-only view of the tree whose page reads go
+// through p instead of the pager the tree was built with. The view shares
+// the immutable structure (node layout, page table); it exists so that
+// concurrent operations can each route their I/O through a per-operation
+// counted pager (disk.WithCounter) for exact attribution.
+func (t *Tree) WithPager(p disk.Pager) *Tree {
+	c := *t
+	c.pager = p
+	return &c
+}
+
 // Root returns the root reference (NilRef for an empty tree).
 func (t *Tree) Root() NodeRef { return t.root }
 

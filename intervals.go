@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 	"pathcache/internal/extint"
 	"pathcache/internal/extseg"
 	"pathcache/internal/record"
@@ -23,6 +25,7 @@ func pointToInterval(p Point) Interval { return Interval{Lo: -p.X, Hi: p.Y, ID: 
 // paper's route to dynamic interval management for temporal and constraint
 // databases.
 type StabbingIndex struct {
+	core
 	ix *TwoSidedIndex
 }
 
@@ -41,7 +44,7 @@ func NewStabbingIndex(ivs []Interval, scheme Scheme, opts *Options) (*StabbingIn
 	if err != nil {
 		return nil, err
 	}
-	return &StabbingIndex{ix: ix}, nil
+	return &StabbingIndex{core: ix.core, ix: ix}, nil
 }
 
 // Stab reports every interval containing q.
@@ -57,22 +60,34 @@ func (si *StabbingIndex) Stab(q int64) ([]Interval, error) {
 	return out, nil
 }
 
+// StabProfile is Stab plus the query's I/O profile, including the exact
+// page transfers attributed to this one query by an op-scoped counter.
+func (si *StabbingIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
+	pts, prof, err := si.ix.QueryProfile(-q, q)
+	if err != nil {
+		return nil, IOProfile{}, err
+	}
+	out := make([]Interval, len(pts))
+	for i, p := range pts {
+		out[i] = pointToInterval(p)
+	}
+	return out, prof, nil
+}
+
 // Len reports the number of indexed intervals.
 func (si *StabbingIndex) Len() int { return si.ix.Len() }
 
+// Kind reports the index's registry name.
+func (si *StabbingIndex) Kind() string { return engine.KindName(kindStabbing) }
+
 // Pages reports the storage footprint in pages.
 func (si *StabbingIndex) Pages() int { return si.ix.Pages() }
-
-// Stats reports the cumulative I/O counters.
-func (si *StabbingIndex) Stats() Stats { return si.ix.Stats() }
-
-// ResetStats zeroes the I/O counters.
-func (si *StabbingIndex) ResetStats() { si.ix.ResetStats() }
 
 // DynamicStabbingIndex is fully dynamic interval management (Section 5 via
 // the diagonal-corner reduction): stabbing queries in O(log_B n + t/B) with
 // amortized O(log_B n) inserts and deletes.
 type DynamicStabbingIndex struct {
+	core
 	ix *DynamicIndex
 }
 
@@ -82,7 +97,7 @@ func NewDynamicStabbingIndex(opts *Options) (*DynamicStabbingIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicStabbingIndex{ix: ix}, nil
+	return &DynamicStabbingIndex{core: ix.core, ix: ix}, nil
 }
 
 // Insert adds an interval.
@@ -117,25 +132,19 @@ func (si *DynamicStabbingIndex) Len() int { return si.ix.Len() }
 // Pages reports the storage footprint in pages.
 func (si *DynamicStabbingIndex) Pages() int { return si.ix.Pages() }
 
-// Stats reports the cumulative I/O counters.
-func (si *DynamicStabbingIndex) Stats() Stats { return si.ix.Stats() }
-
-// ResetStats zeroes the I/O counters.
-func (si *DynamicStabbingIndex) ResetStats() { si.ix.ResetStats() }
-
 // SegmentIndex is the external segment tree of Section 2 / Theorem 3.4.
 // With caching enabled, stabbing costs O(log_B n + t/B); the uncached
 // variant is the strawman of Figure 3 and pays one wasteful I/O per
 // underfull cover-list on the path.
 type SegmentIndex struct {
-	be  *backend
+	core
 	idx *extseg.Tree
 }
 
 // NewSegmentIndex builds a static segment-tree index over ivs. Intervals
 // must satisfy Lo <= Hi and Hi < MaxInt64.
 func NewSegmentIndex(ivs []Interval, cached bool, opts *Options) (*SegmentIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -143,60 +152,65 @@ func NewSegmentIndex(ivs []Interval, cached bool, opts *Options) (*SegmentIndex,
 	if cached {
 		v = extseg.PathCached
 	}
-	idx, err := extseg.Build(be.pager, toRecIntervals(ivs), v)
+	idx, err := extseg.Build(c.be.Pager(), toRecIntervals(ivs), v)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	if err := be.saveMeta(kindSegment, idx.Meta().Encode()); err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
+	if err := c.be.SaveMeta(kindSegment, idx.Meta().Encode()); err != nil {
+		return nil, err
 	}
-	return &SegmentIndex{be: be, idx: idx}, nil
+	return &SegmentIndex{core: c, idx: idx}, nil
 }
 
 // Stab reports every interval containing q.
 func (ix *SegmentIndex) Stab(q int64) ([]Interval, error) {
-	ivs, _, err := ix.StabProfile(q)
-	return ivs, err
+	ivs, _, err := ix.idx.Stab(q)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecIntervals(ivs), nil
 }
 
-// StabProfile is Stab plus the query's I/O profile.
+// StabProfile is Stab plus the query's I/O profile, including the exact
+// page transfers attributed to this one query by an op-scoped counter.
 func (ix *SegmentIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
-	ivs, st, err := ix.idx.Stab(q)
+	var ctr disk.Counter
+	ivs, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Stab(q)
 	if err != nil {
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
+	cs := ctr.Stats()
 	return fromRecIntervals(ivs), IOProfile{
 		PathPages:   st.PathPages,
 		ListPages:   st.ListPages,
 		UsefulIOs:   st.UsefulIOs,
 		WastefulIOs: st.WastefulIOs,
 		Results:     st.Results,
+		Reads:       cs.Reads,
+		Writes:      cs.Writes,
 	}, nil
 }
 
 // Len reports the number of indexed intervals.
 func (ix *SegmentIndex) Len() int { return ix.idx.Len() }
 
+// Kind reports the index's registry name.
+func (ix *SegmentIndex) Kind() string { return engine.KindName(kindSegment) }
+
 // Pages reports the storage footprint in pages.
 func (ix *SegmentIndex) Pages() int { return ix.idx.TotalPages() }
-
-// Stats reports the cumulative I/O counters.
-func (ix *SegmentIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *SegmentIndex) ResetStats() { ix.be.resetStats() }
 
 // IntervalIndex is the external (restricted) interval tree of Theorem 3.5:
 // optimal stabbing with O((n/B)·log B) pages — a log n / log B factor less
 // storage than the segment tree.
 type IntervalIndex struct {
-	be  *backend
+	core
 	idx *extint.Tree
 }
 
 // NewIntervalIndex builds a static interval-tree index over ivs.
 func NewIntervalIndex(ivs []Interval, cached bool, opts *Options) (*IntervalIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -204,48 +218,53 @@ func NewIntervalIndex(ivs []Interval, cached bool, opts *Options) (*IntervalInde
 	if cached {
 		v = extint.PathCached
 	}
-	idx, err := extint.Build(be.pager, toRecIntervals(ivs), v)
+	idx, err := extint.Build(c.be.Pager(), toRecIntervals(ivs), v)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	if err := be.saveMeta(kindInterval, idx.Meta().Encode()); err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
+	if err := c.be.SaveMeta(kindInterval, idx.Meta().Encode()); err != nil {
+		return nil, err
 	}
-	return &IntervalIndex{be: be, idx: idx}, nil
+	return &IntervalIndex{core: c, idx: idx}, nil
 }
 
 // Stab reports every interval containing q.
 func (ix *IntervalIndex) Stab(q int64) ([]Interval, error) {
-	ivs, _, err := ix.StabProfile(q)
-	return ivs, err
+	ivs, _, err := ix.idx.Stab(q)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecIntervals(ivs), nil
 }
 
-// StabProfile is Stab plus the query's I/O profile.
+// StabProfile is Stab plus the query's I/O profile, including the exact
+// page transfers attributed to this one query by an op-scoped counter.
 func (ix *IntervalIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
-	ivs, st, err := ix.idx.Stab(q)
+	var ctr disk.Counter
+	ivs, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Stab(q)
 	if err != nil {
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
+	cs := ctr.Stats()
 	return fromRecIntervals(ivs), IOProfile{
 		PathPages:   st.PathPages,
 		ListPages:   st.ListPages,
 		UsefulIOs:   st.UsefulIOs,
 		WastefulIOs: st.WastefulIOs,
 		Results:     st.Results,
+		Reads:       cs.Reads,
+		Writes:      cs.Writes,
 	}, nil
 }
 
 // Len reports the number of indexed intervals.
 func (ix *IntervalIndex) Len() int { return ix.idx.Len() }
 
+// Kind reports the index's registry name.
+func (ix *IntervalIndex) Kind() string { return engine.KindName(kindInterval) }
+
 // Pages reports the storage footprint in pages.
 func (ix *IntervalIndex) Pages() int { return ix.idx.TotalPages() }
-
-// Stats reports the cumulative I/O counters.
-func (ix *IntervalIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *IntervalIndex) ResetStats() { ix.be.resetStats() }
 
 // ensure the record types stay layout-compatible with the public ones.
 var (

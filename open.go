@@ -1,0 +1,64 @@
+package pathcache
+
+import (
+	"fmt"
+
+	"pathcache/internal/engine"
+)
+
+// Index is the interface every persistable index type satisfies — the
+// static view of an index file regardless of its kind. Open returns it;
+// type-switch on the concrete type (*TwoSidedIndex, *ThreeSidedIndex,
+// *SegmentIndex, *IntervalIndex, *StabbingIndex, *WindowIndex) to reach the
+// kind-specific query methods.
+type Index interface {
+	// Kind reports the index's registry name, e.g. "twosided" or "segment".
+	Kind() string
+	// Len reports the number of indexed records.
+	Len() int
+	// Pages reports the storage footprint in pages.
+	Pages() int
+	// Stats reports the cumulative I/O counters of the underlying store.
+	Stats() Stats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+	// Close flushes and closes the index.
+	Close() error
+}
+
+// Open reopens any file-backed index, dispatching on the kind byte the
+// file's metadata page records: the result is the same concrete type the
+// matching OpenXxxIndex function returns. Files whose build never
+// committed yield an error wrapping ErrNoIndex.
+func Open(path string) (Index, error) {
+	be, err := engine.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	kind, blob, err := be.ReadKind()
+	if err != nil {
+		be.Close()
+		return nil, err
+	}
+	d, ok := engine.Lookup(kind)
+	if !ok {
+		be.Close()
+		return nil, fmt.Errorf("pathcache: file holds unknown index kind %d", kind)
+	}
+	ix, err := d.Open(be, blob)
+	if err != nil {
+		be.Close()
+		return nil, err
+	}
+	return ix.(Index), nil
+}
+
+// compile-time checks that every persistable index satisfies Index.
+var (
+	_ Index = (*TwoSidedIndex)(nil)
+	_ Index = (*ThreeSidedIndex)(nil)
+	_ Index = (*SegmentIndex)(nil)
+	_ Index = (*IntervalIndex)(nil)
+	_ Index = (*StabbingIndex)(nil)
+	_ Index = (*WindowIndex)(nil)
+)

@@ -1,0 +1,148 @@
+package pathcache
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Open must round-trip every persisted kind: build with Options.Path,
+// close, reopen kind-agnostically, and get back the same concrete type
+// answering the same queries.
+func TestOpenAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	pts := uniformPoints(2_000, 100_000, 801)
+	ivs := uniformIntervals(2_000, 100_000, 8_000, 803)
+	opts := func(name string) *Options {
+		return &Options{PageSize: 512, Path: filepath.Join(dir, name)}
+	}
+
+	build := []struct {
+		kind  string
+		build func() (Index, error)
+	}{
+		{"twosided", func() (Index, error) { return NewTwoSidedIndex(pts, SchemeSegmented, opts("two.pc")) }},
+		{"threeside", func() (Index, error) { return NewThreeSidedIndex(pts, opts("three.pc")) }},
+		{"segment", func() (Index, error) { return NewSegmentIndex(ivs, true, opts("seg.pc")) }},
+		{"interval", func() (Index, error) { return NewIntervalIndex(ivs, true, opts("itv.pc")) }},
+		{"stabbing", func() (Index, error) { return NewStabbingIndex(ivs, SchemeSegmented, opts("stab.pc")) }},
+		{"window", func() (Index, error) { return NewWindowIndex(pts, opts("win.pc")) }},
+	}
+	paths := map[string]string{
+		"twosided": "two.pc", "threeside": "three.pc", "segment": "seg.pc",
+		"interval": "itv.pc", "stabbing": "stab.pc", "window": "win.pc",
+	}
+
+	for _, b := range build {
+		ix, err := b.build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", b.kind, err)
+		}
+		if got := ix.Kind(); got != b.kind {
+			t.Fatalf("built index Kind() = %q, want %q", got, b.kind)
+		}
+		wantLen := ix.Len()
+		if err := ix.Close(); err != nil {
+			t.Fatalf("%s: close: %v", b.kind, err)
+		}
+
+		re, err := Open(filepath.Join(dir, paths[b.kind]))
+		if err != nil {
+			t.Fatalf("%s: Open: %v", b.kind, err)
+		}
+		if got := re.Kind(); got != b.kind {
+			t.Fatalf("reopened Kind() = %q, want %q", got, b.kind)
+		}
+		if re.Len() != wantLen {
+			t.Fatalf("%s: reopened Len = %d, want %d", b.kind, re.Len(), wantLen)
+		}
+
+		// The concrete type must match the kind, and queries must work.
+		switch b.kind {
+		case "twosided":
+			two := re.(*TwoSidedIndex)
+			if got, err := two.Query(0, 0); err != nil || len(got) != wantLen {
+				t.Fatalf("twosided query after Open: %d pts, err %v", len(got), err)
+			}
+		case "threeside":
+			three := re.(*ThreeSidedIndex)
+			if _, err := three.Query(0, 100_000, 0); err != nil {
+				t.Fatalf("threeside query after Open: %v", err)
+			}
+		case "segment":
+			seg := re.(*SegmentIndex)
+			if _, err := seg.Stab(50_000); err != nil {
+				t.Fatalf("segment stab after Open: %v", err)
+			}
+		case "interval":
+			itv := re.(*IntervalIndex)
+			if _, err := itv.Stab(50_000); err != nil {
+				t.Fatalf("interval stab after Open: %v", err)
+			}
+		case "stabbing":
+			stab := re.(*StabbingIndex)
+			if _, err := stab.Stab(50_000); err != nil {
+				t.Fatalf("stabbing stab after Open: %v", err)
+			}
+		case "window":
+			win := re.(*WindowIndex)
+			if _, err := win.Query(0, 100_000, 0, 100_000); err != nil {
+				t.Fatalf("window query after Open: %v", err)
+			}
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("%s: close after Open: %v", b.kind, err)
+		}
+	}
+}
+
+// A typed opener on a file of another kind must fail with ErrKindMismatch,
+// and the message must name both kinds so the wrapped text stays
+// actionable end to end.
+func TestOpenKindMismatchError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.pc")
+	ivs := uniformIntervals(500, 10_000, 1_000, 805)
+	ix, err := NewSegmentIndex(ivs, true, &Options{PageSize: 512, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenTwoSidedIndex(path)
+	if err == nil {
+		t.Fatal("opened a segment file as a 2-sided index")
+	}
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("err = %v, want ErrKindMismatch", err)
+	}
+	for _, want := range []string{"segment", "twosided"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error %q does not name kind %q", err, want)
+		}
+	}
+}
+
+// Open on a file whose build never committed reports ErrNoIndex, same as
+// the typed openers.
+func TestOpenNoIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "two.pc")
+	pts := uniformPoints(1_000, 10_000, 807)
+	// Recursive schemes carry no reopen metadata, so the file stays
+	// headless.
+	ix, err := NewTwoSidedIndex(pts, SchemeTwoLevel, &Options{PageSize: 512, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("Open on headless file = %v, want ErrNoIndex", err)
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.pc")); err == nil {
+		t.Fatal("Open on missing file succeeded")
+	}
+}

@@ -1,0 +1,71 @@
+package pathcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every constructor must reject invalid Options with a clear error instead
+// of misbehaving later, and must accept the legal edge values.
+func TestOptionsValidation(t *testing.T) {
+	pts := uniformPoints(200, 1_000, 811)
+	ivs := uniformIntervals(200, 1_000, 100, 813)
+
+	cases := []struct {
+		name string
+		opts *Options
+		want string // error substring; "" means the build must succeed
+	}{
+		{"nil options", nil, ""},
+		{"defaults", &Options{}, ""},
+		{"negative page size", &Options{PageSize: -1}, "invalid PageSize -1"},
+		{"negative pool", &Options{BufferPoolPages: -4}, "invalid BufferPoolPages -4"},
+		{"page size below minimum", &Options{PageSize: 32}, "page size too small"},
+		{"pool of one frame", &Options{PageSize: 512, BufferPoolPages: 1}, ""},
+	}
+
+	builders := []struct {
+		name  string
+		build func(opts *Options) error
+	}{
+		{"TwoSidedIndex", func(o *Options) error {
+			_, err := NewTwoSidedIndex(pts, SchemeSegmented, o)
+			return err
+		}},
+		{"SegmentIndex", func(o *Options) error {
+			_, err := NewSegmentIndex(ivs, true, o)
+			return err
+		}},
+		{"RangeIndex", func(o *Options) error {
+			_, err := NewRangeIndex(o)
+			return err
+		}},
+		{"DynamicIndex", func(o *Options) error {
+			_, err := NewDynamicIndex(o)
+			return err
+		}},
+	}
+
+	for _, tc := range cases {
+		for _, b := range builders {
+			t.Run(tc.name+"/"+b.name, func(t *testing.T) {
+				err := b.build(tc.opts)
+				if tc.want == "" {
+					if err != nil {
+						t.Fatalf("build = %v, want success", err)
+					}
+					return
+				}
+				if err == nil {
+					t.Fatalf("build succeeded, want error containing %q", tc.want)
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("build error %q does not contain %q", err, tc.want)
+				}
+				if !strings.HasPrefix(err.Error(), "pathcache: ") {
+					t.Fatalf("build error %q lacks the package prefix", err)
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 	"pathcache/internal/record"
 )
 
@@ -50,7 +51,9 @@ type Interval struct {
 	ID     uint64
 }
 
-// Options configures the disk behind an index.
+// Options configures the disk behind an index. Invalid values (a negative
+// PageSize or BufferPoolPages, or a PageSize below the store's minimum) are
+// rejected with an error by every constructor.
 type Options struct {
 	// PageSize is the disk page size in bytes (default 4096). The page
 	// capacity B follows from it: B = (PageSize - 10) / 24 records for the
@@ -79,7 +82,7 @@ type Options struct {
 }
 
 // DefaultPageSize is used when Options.PageSize is zero.
-const DefaultPageSize = 4096
+const DefaultPageSize = engine.DefaultPageSize
 
 // Stats is a snapshot of the I/O counters of an index's underlying store.
 type Stats struct {
@@ -97,93 +100,56 @@ type IOProfile struct {
 	UsefulIOs   int
 	WastefulIOs int
 	Results     int
+
+	// Reads and Writes are the page transfers the store performed for this
+	// operation, measured by an op-scoped counter rather than a global
+	// diff, so they stay exact when other operations run concurrently.
+	// Under a buffer pool only real store I/O counts — cache hits cost
+	// zero, so Reads can be below PathPages+ListPages.
+	Reads  int64
+	Writes int64
 }
 
-// metered is the store interface the backend needs: paging plus counters.
-type metered interface {
-	disk.Pager
-	Stats() disk.Stats
-	NumPages() int
-	ResetStats()
+// core is the storage half embedded in every index type: the engine
+// backend plus the store-facing methods all indexes share. Embedding it
+// promotes Close, Stats and ResetStats, so the index types only implement
+// what is specific to their structure.
+type core struct {
+	be *engine.Backend
 }
 
-// backend bundles the store every index builds on.
-type backend struct {
-	store metered
-	pager disk.Pager
-	pool  *disk.BufferPool
-	file  *disk.FileStore // non-nil when Options.Path was set
-}
-
-func newBackend(opts *Options) (*backend, error) {
-	ps := DefaultPageSize
-	pool := 0
-	path := ""
+func newCore(opts *Options) (core, error) {
+	var cfg engine.Config
 	if opts != nil {
-		if opts.PageSize != 0 {
-			ps = opts.PageSize
+		cfg = engine.Config{
+			PageSize:        opts.PageSize,
+			BufferPoolPages: opts.BufferPoolPages,
+			Path:            opts.Path,
+			File:            opts.testFile,
+			WrapPager:       opts.testWrapPager,
 		}
-		pool = opts.BufferPoolPages
-		path = opts.Path
 	}
-	be := &backend{}
-	if opts != nil && opts.testFile != nil {
-		fs, err := disk.CreateFileStoreOn(opts.testFile, ps)
-		if err != nil {
-			return nil, fmt.Errorf("pathcache: %w", err)
-		}
-		be.store, be.file = fs, fs
-	} else if path != "" {
-		fs, err := disk.CreateFileStore(path, ps)
-		if err != nil {
-			return nil, fmt.Errorf("pathcache: %w", err)
-		}
-		be.store, be.file = fs, fs
-	} else {
-		store, err := disk.NewStore(ps)
-		if err != nil {
-			return nil, fmt.Errorf("pathcache: %w", err)
-		}
-		be.store = store
+	be, err := engine.New(cfg)
+	if err != nil {
+		return core{}, fmt.Errorf("pathcache: %w", err)
 	}
-	be.pager = be.store
-	if pool > 0 {
-		bp, err := disk.NewBufferPool(be.store, pool)
-		if err != nil {
-			return nil, fmt.Errorf("pathcache: %w", err)
-		}
-		be.pager = bp
-		be.pool = bp
-	}
-	if opts != nil && opts.testWrapPager != nil {
-		be.pager = opts.testWrapPager(be.pager)
-	}
-	return be, nil
+	return core{be: be}, nil
 }
 
-func (be *backend) stats() Stats {
-	s := be.store.Stats()
-	return Stats{Reads: s.Reads, Writes: s.Writes, Pages: be.store.NumPages()}
+// Stats reports the cumulative I/O counters of the underlying store.
+func (c core) Stats() Stats {
+	s := c.be.Stats()
+	return Stats{Reads: s.Reads, Writes: s.Writes, Pages: c.be.NumPages()}
 }
 
-func (be *backend) resetStats() {
-	be.store.ResetStats()
-	if be.pool != nil {
-		be.pool.ResetStats()
-	}
-}
+// ResetStats zeroes the I/O counters (and the buffer pool's statistics when
+// one is configured).
+func (c core) ResetStats() { c.be.ResetStats() }
 
-// close flushes and closes a file-backed backend (no-op for in-memory).
-func (be *backend) close() error {
-	if be.pool != nil {
-		if err := be.pool.Flush(); err != nil {
-			return fmt.Errorf("pathcache: %w", err)
-		}
-	}
-	if be.file != nil {
-		if err := be.file.Close(); err != nil {
-			return fmt.Errorf("pathcache: %w", err)
-		}
+// Close flushes and closes a file-backed index (no-op for in-memory ones).
+func (c core) Close() error {
+	if err := c.be.Close(); err != nil {
+		return fmt.Errorf("pathcache: %w", err)
 	}
 	return nil
 }

@@ -1,21 +1,26 @@
 package pathcache
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
 
-	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 	"pathcache/internal/ext3side"
 	"pathcache/internal/extint"
 	"pathcache/internal/extpst"
 	"pathcache/internal/extseg"
+	"pathcache/internal/extwindow"
 )
 
 // ErrNoIndex reports a store file whose metadata head is unset: the file is
 // structurally intact but no index build completed against it. A crash
 // before the final metadata commit rolls the file back to this state.
-var ErrNoIndex = errors.New("pathcache: file holds no index")
+var ErrNoIndex = engine.ErrNoIndex
+
+// ErrKindMismatch reports a file that holds a committed index of a
+// different kind than the typed opener asked for — for example
+// OpenTwoSidedIndex on a segment-tree file. The error text names both
+// kinds; Open dispatches on the stored kind instead.
+var ErrKindMismatch = engine.ErrKindMismatch
 
 // Index kinds recorded in the metadata page of a file-backed index.
 const (
@@ -27,114 +32,25 @@ const (
 	kindWindow    = 6
 )
 
-// writeIndexMeta stores the index header in a fresh page recorded in the
-// superblock, then syncs.
-func writeIndexMeta(fs *disk.FileStore, kind byte, blob []byte) error {
-	page := make([]byte, fs.PageSize())
-	if 5+len(blob) > len(page) {
-		return fmt.Errorf("pathcache: index metadata (%d bytes) exceeds one page", len(blob))
-	}
-	page[0] = kind
-	binary.LittleEndian.PutUint32(page[1:5], uint32(len(blob)))
-	copy(page[5:], blob)
-	id, err := fs.Alloc()
-	if err != nil {
-		return err
-	}
-	if err := fs.Write(id, page); err != nil {
-		return err
-	}
-	if err := fs.SetAppHead(id); err != nil {
-		return err
-	}
-	return fs.Sync()
+// The registry maps every persisted kind byte to its name and opener; Open
+// and the typed OpenXxxIndex functions dispatch through it, and verify
+// reports use its names.
+func init() {
+	engine.Register(engine.Descriptor{Kind: kindTwoSided, Name: "twosided", Open: openTwoSided})
+	engine.Register(engine.Descriptor{Kind: kindThreeSide, Name: "threeside", Open: openThreeSided})
+	engine.Register(engine.Descriptor{Kind: kindSegment, Name: "segment", Open: openSegment})
+	engine.Register(engine.Descriptor{Kind: kindInterval, Name: "interval", Open: openInterval})
+	engine.Register(engine.Descriptor{Kind: kindStabbing, Name: "stabbing", Open: openStabbing})
+	engine.Register(engine.Descriptor{Kind: kindWindow, Name: "window", Open: openWindow})
 }
 
-// readIndexMeta loads and validates the index header.
-func readIndexMeta(fs *disk.FileStore, wantKind byte) ([]byte, error) {
-	head := fs.AppHead()
-	if head == disk.InvalidPage {
-		return nil, fmt.Errorf("%w: metadata head unset", ErrNoIndex)
-	}
-	page := make([]byte, fs.PageSize())
-	if err := fs.Read(head, page); err != nil {
-		return nil, err
-	}
-	if page[0] != wantKind {
-		return nil, fmt.Errorf("pathcache: file holds index kind %d, not %d", page[0], wantKind)
-	}
-	n := int(binary.LittleEndian.Uint32(page[1:5]))
-	if 5+n > len(page) {
-		return nil, fmt.Errorf("pathcache: corrupt index metadata (blob length %d exceeds page): %w", n, disk.ErrCorrupt)
-	}
-	return page[5 : 5+n], nil
-}
-
-// saveMeta persists an index header when the backend is file-backed.
-func (be *backend) saveMeta(kind byte, blob []byte) error {
-	if be.file == nil {
-		return nil // in-memory index: nothing to persist
-	}
-	return writeIndexMeta(be.file, kind, blob)
-}
-
-// openBackend attaches to an existing index file.
-func openBackend(path string) (*backend, error) {
-	fs, err := disk.OpenFileStore(path)
-	if err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return &backend{store: fs, pager: fs, file: fs}, nil
-}
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *TwoSidedIndex) Close() error { return ix.be.close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *ThreeSidedIndex) Close() error { return ix.be.close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *SegmentIndex) Close() error { return ix.be.close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *IntervalIndex) Close() error { return ix.be.close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (si *StabbingIndex) Close() error { return si.ix.Close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *DynamicIndex) Close() error { return ix.be.close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (si *DynamicStabbingIndex) Close() error { return si.ix.Close() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *RangeIndex) Close() error { return ix.be.close() }
-
-// OpenTwoSidedIndex reopens a file-backed 2-sided index built with
-// Options.Path and one of the flat schemes (IKO, Basic, Segmented).
-func OpenTwoSidedIndex(path string) (*TwoSidedIndex, error) {
-	be, err := openBackend(path)
-	if err != nil {
-		return nil, err
-	}
-	blob, err := readIndexMeta(be.file, kindTwoSided)
-	if err != nil {
-		be.close()
-		return nil, err
-	}
-	return reopenTwoSided(be, blob)
-}
-
-func reopenTwoSided(be *backend, blob []byte) (*TwoSidedIndex, error) {
+func openTwoSided(be *engine.Backend, blob []byte) (any, error) {
 	m, err := extpst.DecodeMeta(blob)
 	if err != nil {
-		be.close()
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	tr, err := extpst.Reopen(be.pager, m)
+	tr, err := extpst.Reopen(be.Pager(), m)
 	if err != nil {
-		be.close()
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
 	var scheme Scheme
@@ -146,95 +62,129 @@ func reopenTwoSided(be *backend, blob []byte) (*TwoSidedIndex, error) {
 	default:
 		scheme = SchemeSegmented
 	}
-	return &TwoSidedIndex{be: be, idx: tr, scheme: scheme}, nil
+	return &TwoSidedIndex{core: core{be: be}, idx: tr, scheme: scheme}, nil
+}
+
+func openThreeSided(be *engine.Backend, blob []byte) (any, error) {
+	m, err := ext3side.DecodeMeta(blob)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := ext3side.Reopen(be.Pager(), m)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &ThreeSidedIndex{core: core{be: be}, idx: tr}, nil
+}
+
+func openSegment(be *engine.Backend, blob []byte) (any, error) {
+	m, err := extseg.DecodeMeta(blob)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extseg.Reopen(be.Pager(), m)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &SegmentIndex{core: core{be: be}, idx: tr}, nil
+}
+
+func openInterval(be *engine.Backend, blob []byte) (any, error) {
+	m, err := extint.DecodeMeta(blob)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extint.Reopen(be.Pager(), m)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &IntervalIndex{core: core{be: be}, idx: tr}, nil
+}
+
+func openStabbing(be *engine.Backend, blob []byte) (any, error) {
+	ix, err := openTwoSided(be, blob)
+	if err != nil {
+		return nil, err
+	}
+	two := ix.(*TwoSidedIndex)
+	return &StabbingIndex{core: two.core, ix: two}, nil
+}
+
+func openWindow(be *engine.Backend, blob []byte) (any, error) {
+	m, err := extwindow.DecodeMeta(blob)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	tr, err := extwindow.Reopen(be.Pager(), m)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return &WindowIndex{core: core{be: be}, idx: tr}, nil
+}
+
+// openKind reopens the file at path expecting one specific kind and builds
+// the index through its registered descriptor. It owns the backend: on any
+// failure the backend is closed before the error returns.
+func openKind(path string, want byte) (any, error) {
+	be, err := engine.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	blob, err := be.ReadMeta(want)
+	if err != nil {
+		be.Close()
+		return nil, err
+	}
+	d, ok := engine.Lookup(want)
+	if !ok {
+		be.Close()
+		return nil, fmt.Errorf("pathcache: no opener registered for index kind %d", want)
+	}
+	ix, err := d.Open(be, blob)
+	if err != nil {
+		be.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// openTyped is openKind plus the type assertion every typed opener needs.
+func openTyped[T any](path string, want byte) (T, error) {
+	ix, err := openKind(path, want)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return ix.(T), nil
+}
+
+// OpenTwoSidedIndex reopens a file-backed 2-sided index built with
+// Options.Path and one of the flat schemes (IKO, Basic, Segmented).
+func OpenTwoSidedIndex(path string) (*TwoSidedIndex, error) {
+	return openTyped[*TwoSidedIndex](path, kindTwoSided)
 }
 
 // OpenThreeSidedIndex reopens a file-backed 3-sided index.
 func OpenThreeSidedIndex(path string) (*ThreeSidedIndex, error) {
-	be, err := openBackend(path)
-	if err != nil {
-		return nil, err
-	}
-	blob, err := readIndexMeta(be.file, kindThreeSide)
-	if err != nil {
-		be.close()
-		return nil, err
-	}
-	m, err := ext3side.DecodeMeta(blob)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	tr, err := ext3side.Reopen(be.pager, m)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return &ThreeSidedIndex{be: be, idx: tr}, nil
+	return openTyped[*ThreeSidedIndex](path, kindThreeSide)
 }
 
 // OpenSegmentIndex reopens a file-backed segment-tree index.
 func OpenSegmentIndex(path string) (*SegmentIndex, error) {
-	be, err := openBackend(path)
-	if err != nil {
-		return nil, err
-	}
-	blob, err := readIndexMeta(be.file, kindSegment)
-	if err != nil {
-		be.close()
-		return nil, err
-	}
-	m, err := extseg.DecodeMeta(blob)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	tr, err := extseg.Reopen(be.pager, m)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return &SegmentIndex{be: be, idx: tr}, nil
+	return openTyped[*SegmentIndex](path, kindSegment)
 }
 
 // OpenIntervalIndex reopens a file-backed interval-tree index.
 func OpenIntervalIndex(path string) (*IntervalIndex, error) {
-	be, err := openBackend(path)
-	if err != nil {
-		return nil, err
-	}
-	blob, err := readIndexMeta(be.file, kindInterval)
-	if err != nil {
-		be.close()
-		return nil, err
-	}
-	m, err := extint.DecodeMeta(blob)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	tr, err := extint.Reopen(be.pager, m)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return &IntervalIndex{be: be, idx: tr}, nil
+	return openTyped[*IntervalIndex](path, kindInterval)
 }
 
 // OpenStabbingIndex reopens a file-backed static stabbing index.
 func OpenStabbingIndex(path string) (*StabbingIndex, error) {
-	be, err := openBackend(path)
-	if err != nil {
-		return nil, err
-	}
-	blob, err := readIndexMeta(be.file, kindStabbing)
-	if err != nil {
-		be.close()
-		return nil, err
-	}
-	ix, err := reopenTwoSided(be, blob)
-	if err != nil {
-		return nil, err
-	}
-	return &StabbingIndex{ix: ix}, nil
+	return openTyped[*StabbingIndex](path, kindStabbing)
+}
+
+// OpenWindowIndex reopens a file-backed window index.
+func OpenWindowIndex(path string) (*WindowIndex, error) {
+	return openTyped[*WindowIndex](path, kindWindow)
 }

@@ -11,21 +11,21 @@ import (
 // O(log_B n) updates on O(n/B) pages. Experiment E8 uses it to show why
 // 1-dimensional indexes are inefficient for 2-dimensional queries.
 type RangeIndex struct {
-	be  *backend
+	core
 	idx *btree.Tree
 }
 
 // NewRangeIndex creates an empty B+-tree index.
 func NewRangeIndex(opts *Options) (*RangeIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := btree.New(be.pager)
+	idx, err := btree.New(c.be.Pager())
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	return &RangeIndex{be: be, idx: idx}, nil
+	return &RangeIndex{core: c, idx: idx}, nil
 }
 
 // Insert adds a (key, value) pair. The pair must be unique.
@@ -66,10 +66,4 @@ func (ix *RangeIndex) Range(lo, hi int64, fn func(key int64, val uint64) bool) e
 func (ix *RangeIndex) Len() int { return ix.idx.Len() }
 
 // Pages reports the storage footprint in pages.
-func (ix *RangeIndex) Pages() int { return ix.be.store.NumPages() }
-
-// Stats reports the cumulative I/O counters.
-func (ix *RangeIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *RangeIndex) ResetStats() { ix.be.resetStats() }
+func (ix *RangeIndex) Pages() int { return ix.be.NumPages() }

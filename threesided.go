@@ -3,6 +3,8 @@ package pathcache
 import (
 	"fmt"
 
+	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 	"pathcache/internal/ext3side"
 )
 
@@ -11,56 +13,61 @@ import (
 // paper's motivation for indexing class hierarchies in object-oriented
 // databases.
 type ThreeSidedIndex struct {
-	be  *backend
+	core
 	idx *ext3side.Tree
 }
 
 // NewThreeSidedIndex builds a static 3-sided index over pts. The input
 // slice is not retained.
 func NewThreeSidedIndex(pts []Point, opts *Options) (*ThreeSidedIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := ext3side.Build(be.pager, toRecPoints(pts))
+	idx, err := ext3side.Build(c.be.Pager(), toRecPoints(pts))
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	if err := be.saveMeta(kindThreeSide, idx.Meta().Encode()); err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
+	if err := c.be.SaveMeta(kindThreeSide, idx.Meta().Encode()); err != nil {
+		return nil, err
 	}
-	return &ThreeSidedIndex{be: be, idx: idx}, nil
+	return &ThreeSidedIndex{core: c, idx: idx}, nil
 }
 
 // Query reports every point with a1 <= X <= a2 and Y >= b.
 func (ix *ThreeSidedIndex) Query(a1, a2, b int64) ([]Point, error) {
-	pts, _, err := ix.QueryProfile(a1, a2, b)
-	return pts, err
+	pts, _, err := ix.idx.Query(a1, a2, b)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), nil
 }
 
-// QueryProfile is Query plus the query's I/O profile.
+// QueryProfile is Query plus the query's I/O profile, including the exact
+// page transfers attributed to this one query by an op-scoped counter.
 func (ix *ThreeSidedIndex) QueryProfile(a1, a2, b int64) ([]Point, IOProfile, error) {
-	pts, st, err := ix.idx.Query(a1, a2, b)
+	var ctr disk.Counter
+	pts, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Query(a1, a2, b)
 	if err != nil {
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
+	cs := ctr.Stats()
 	return fromRecPoints(pts), IOProfile{
 		PathPages:   st.PathPages,
 		ListPages:   st.ListPages,
 		UsefulIOs:   st.UsefulIOs,
 		WastefulIOs: st.WastefulIOs,
 		Results:     st.Results,
+		Reads:       cs.Reads,
+		Writes:      cs.Writes,
 	}, nil
 }
 
 // Len reports the number of indexed points.
 func (ix *ThreeSidedIndex) Len() int { return ix.idx.Len() }
 
+// Kind reports the index's registry name.
+func (ix *ThreeSidedIndex) Kind() string { return engine.KindName(kindThreeSide) }
+
 // Pages reports the storage footprint in pages.
 func (ix *ThreeSidedIndex) Pages() int { return ix.idx.TotalPages() }
-
-// Stats reports the cumulative I/O counters of the underlying store.
-func (ix *ThreeSidedIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *ThreeSidedIndex) ResetStats() { ix.be.resetStats() }

@@ -3,6 +3,8 @@ package pathcache
 import (
 	"fmt"
 
+	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 	"pathcache/internal/extpst"
 )
 
@@ -48,7 +50,7 @@ func (s Scheme) String() string {
 // TwoSidedIndex is a static index answering the paper's 2-sided queries
 // {x >= a, y >= b} over a fixed point set.
 type TwoSidedIndex struct {
-	be     *backend
+	core
 	idx    extpst.PointIndex
 	scheme Scheme
 }
@@ -63,7 +65,7 @@ func NewTwoSidedIndex(pts []Point, scheme Scheme, opts *Options) (*TwoSidedIndex
 }
 
 func newTwoSidedIndex(pts []Point, scheme Scheme, opts *Options, kind byte) (*TwoSidedIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -80,11 +82,11 @@ func newTwoSidedIndex(pts []Point, scheme Scheme, opts *Options, kind byte) (*Tw
 		default:
 			sc = extpst.Segmented
 		}
-		idx, err = extpst.Build(be.pager, rec, sc)
+		idx, err = extpst.Build(c.be.Pager(), rec, sc)
 	case SchemeTwoLevel:
-		idx, err = extpst.BuildTwoLevel(be.pager, rec)
+		idx, err = extpst.BuildTwoLevel(c.be.Pager(), rec)
 	case SchemeMultilevel:
-		idx, err = extpst.BuildMultilevel(be.pager, rec)
+		idx, err = extpst.BuildMultilevel(c.be.Pager(), rec)
 	default:
 		return nil, fmt.Errorf("pathcache: unknown scheme %v", scheme)
 	}
@@ -92,31 +94,39 @@ func newTwoSidedIndex(pts []Point, scheme Scheme, opts *Options, kind byte) (*Tw
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
 	if flat, ok := idx.(*extpst.Tree); ok {
-		if err := be.saveMeta(kind, flat.Meta().Encode()); err != nil {
-			return nil, fmt.Errorf("pathcache: %w", err)
+		if err := c.be.SaveMeta(kind, flat.Meta().Encode()); err != nil {
+			return nil, err
 		}
 	}
-	return &TwoSidedIndex{be: be, idx: idx, scheme: scheme}, nil
+	return &TwoSidedIndex{core: c, idx: idx, scheme: scheme}, nil
 }
 
 // Query reports every point with X >= a and Y >= b.
 func (ix *TwoSidedIndex) Query(a, b int64) ([]Point, error) {
-	pts, _, err := ix.QueryProfile(a, b)
-	return pts, err
+	pts, _, err := ix.idx.Query(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), nil
 }
 
-// QueryProfile is Query plus the query's I/O profile.
+// QueryProfile is Query plus the query's I/O profile, including the exact
+// page transfers attributed to this one query by an op-scoped counter.
 func (ix *TwoSidedIndex) QueryProfile(a, b int64) ([]Point, IOProfile, error) {
-	pts, st, err := ix.idx.Query(a, b)
+	var ctr disk.Counter
+	pts, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Query(a, b)
 	if err != nil {
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
+	cs := ctr.Stats()
 	return fromRecPoints(pts), IOProfile{
 		PathPages:   st.PathPages,
 		ListPages:   st.ListPages,
 		UsefulIOs:   st.UsefulIOs,
 		WastefulIOs: st.WastefulIOs,
 		Results:     st.Results,
+		Reads:       cs.Reads,
+		Writes:      cs.Writes,
 	}, nil
 }
 
@@ -126,12 +136,8 @@ func (ix *TwoSidedIndex) Len() int { return ix.idx.Len() }
 // Scheme reports which construction the index uses.
 func (ix *TwoSidedIndex) Scheme() Scheme { return ix.scheme }
 
+// Kind reports the index's registry name.
+func (ix *TwoSidedIndex) Kind() string { return engine.KindName(kindTwoSided) }
+
 // Pages reports the storage footprint in pages.
 func (ix *TwoSidedIndex) Pages() int { return ix.idx.TotalPages() }
-
-// Stats reports the cumulative I/O counters of the underlying store.
-func (ix *TwoSidedIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters (and flushes the buffer pool's
-// statistics when one is configured).
-func (ix *TwoSidedIndex) ResetStats() { ix.be.resetStats() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 )
 
 // FileReport is the result of a full integrity scan of an index file: the
@@ -19,25 +20,6 @@ type FileReport struct {
 	Slots    int64  // allocated-or-freed page slots
 	Live     int    // pages holding data
 	Free     int    // pages on the free list
-}
-
-func kindName(k byte) string {
-	switch k {
-	case kindTwoSided:
-		return "twosided"
-	case kindThreeSide:
-		return "threeside"
-	case kindSegment:
-		return "segment"
-	case kindInterval:
-		return "interval"
-	case kindStabbing:
-		return "stabbing"
-	case kindWindow:
-		return "window"
-	default:
-		return fmt.Sprintf("unknown(%d)", k)
-	}
 }
 
 // VerifyFile scans every page and free-list stub of an index file against
@@ -69,14 +51,10 @@ func VerifyFile(path string) (_ FileReport, err error) {
 	if err != nil {
 		return out, fmt.Errorf("pathcache: %w", err)
 	}
-	head := fs.AppHead()
-	if head == disk.InvalidPage {
-		return out, fmt.Errorf("%w: metadata head unset", ErrNoIndex)
+	kind, err := engine.MetaKind(fs)
+	if err != nil {
+		return out, err
 	}
-	page := make([]byte, fs.PageSize())
-	if err := fs.Read(head, page); err != nil {
-		return out, fmt.Errorf("pathcache: reading metadata page: %w", err)
-	}
-	out.Kind = kindName(page[0])
+	out.Kind = engine.KindName(kind)
 	return out, nil
 }

@@ -3,6 +3,8 @@ package pathcache
 import (
 	"fmt"
 
+	"pathcache/internal/disk"
+	"pathcache/internal/engine"
 	"pathcache/internal/extwindow"
 )
 
@@ -13,84 +15,62 @@ import (
 // O(log(n/B) + t/B) I/Os with O((n/B)·log(n/B)) pages (see
 // internal/extwindow for the construction).
 type WindowIndex struct {
-	be  *backend
+	core
 	idx *extwindow.Tree
 }
 
 // NewWindowIndex builds a static window index over pts. The input slice is
 // not retained. With Options.Path set the index persists; reopen it with
-// OpenWindowIndex.
+// OpenWindowIndex or Open.
 func NewWindowIndex(pts []Point, opts *Options) (*WindowIndex, error) {
-	be, err := newBackend(opts)
+	c, err := newCore(opts)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := extwindow.Build(be.pager, toRecPoints(pts))
+	idx, err := extwindow.Build(c.be.Pager(), toRecPoints(pts))
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	if err := be.saveMeta(kindWindow, idx.Meta().Encode()); err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return &WindowIndex{be: be, idx: idx}, nil
-}
-
-// OpenWindowIndex reopens a file-backed window index.
-func OpenWindowIndex(path string) (*WindowIndex, error) {
-	be, err := openBackend(path)
-	if err != nil {
+	if err := c.be.SaveMeta(kindWindow, idx.Meta().Encode()); err != nil {
 		return nil, err
 	}
-	blob, err := readIndexMeta(be.file, kindWindow)
-	if err != nil {
-		be.close()
-		return nil, err
-	}
-	m, err := extwindow.DecodeMeta(blob)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	tr, err := extwindow.Reopen(be.pager, m)
-	if err != nil {
-		be.close()
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return &WindowIndex{be: be, idx: tr}, nil
+	return &WindowIndex{core: c, idx: idx}, nil
 }
 
 // Query reports every point with x1 <= X <= x2 and y1 <= Y <= y2.
 func (ix *WindowIndex) Query(x1, x2, y1, y2 int64) ([]Point, error) {
-	pts, _, err := ix.QueryProfile(x1, x2, y1, y2)
-	return pts, err
+	pts, _, err := ix.idx.Query(x1, x2, y1, y2)
+	if err != nil {
+		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	return fromRecPoints(pts), nil
 }
 
-// QueryProfile is Query plus the query's I/O profile.
+// QueryProfile is Query plus the query's I/O profile, including the exact
+// page transfers attributed to this one query by an op-scoped counter.
 func (ix *WindowIndex) QueryProfile(x1, x2, y1, y2 int64) ([]Point, IOProfile, error) {
-	pts, st, err := ix.idx.Query(x1, x2, y1, y2)
+	var ctr disk.Counter
+	pts, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Query(x1, x2, y1, y2)
 	if err != nil {
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
+	cs := ctr.Stats()
 	return fromRecPoints(pts), IOProfile{
 		PathPages:   st.PathPages,
 		ListPages:   st.ListPages,
 		UsefulIOs:   st.UsefulIOs,
 		WastefulIOs: st.WastefulIOs,
 		Results:     st.Results,
+		Reads:       cs.Reads,
+		Writes:      cs.Writes,
 	}, nil
 }
 
 // Len reports the number of indexed points.
 func (ix *WindowIndex) Len() int { return ix.idx.Len() }
 
+// Kind reports the index's registry name.
+func (ix *WindowIndex) Kind() string { return engine.KindName(kindWindow) }
+
 // Pages reports the storage footprint in pages.
 func (ix *WindowIndex) Pages() int { return ix.idx.TotalPages() }
-
-// Stats reports the cumulative I/O counters.
-func (ix *WindowIndex) Stats() Stats { return ix.be.stats() }
-
-// ResetStats zeroes the I/O counters.
-func (ix *WindowIndex) ResetStats() { ix.be.resetStats() }
-
-// Close flushes and closes a file-backed index (no-op for in-memory ones).
-func (ix *WindowIndex) Close() error { return ix.be.close() }
