@@ -7,6 +7,7 @@ import (
 
 	"pathcache/internal/disk"
 	"pathcache/internal/engine"
+	"pathcache/internal/obs"
 )
 
 // This file is the parallel batch-query engine: every static (read-only)
@@ -34,21 +35,23 @@ type ThreeSidedQuery struct{ A1, A2, B int64 }
 // are deterministic. Reads and Writes come from the worker's op counter:
 // exact, but under a buffer pool they depend on what is already cached.
 type WorkerBatchStats struct {
-	Queries int
-	Results int
-	Reads   int64 // store pages this worker's queries read
-	Writes  int64 // store pages this worker's queries wrote
+	Queries   int
+	Results   int
+	Reads     int64 // store pages this worker's queries read
+	Writes    int64 // store pages this worker's queries wrote
+	CacheHits int64 // buffer-pool hits this worker's queries scored
 }
 
 // BatchStats describes one batch execution.
 type BatchStats struct {
-	Workers int // workers actually used (≤ len(queries))
-	Queries int
-	Results int   // total records returned
-	Reads   int64 // store pages read for this batch (sum over PerWorker)
-	Writes  int64 // store pages written for this batch (sum over PerWorker)
+	Workers   int // workers actually used (≤ len(queries))
+	Queries   int
+	Results   int   // total records returned
+	Reads     int64 // store pages read for this batch (sum over PerWorker)
+	Writes    int64 // store pages written for this batch (sum over PerWorker)
+	CacheHits int64 // buffer-pool hits for this batch (sum over PerWorker)
 	// PerWorker has one entry per worker; entries sum exactly to
-	// Queries/Results/Reads/Writes.
+	// Queries/Results/Reads/Writes/CacheHits.
 	PerWorker []WorkerBatchStats
 }
 
@@ -74,7 +77,13 @@ func batchWorkers(n, workers int) int {
 // (disjoint per i, so no synchronization is needed). The first error by
 // query order aborts the batch's remaining work on that worker; other
 // workers finish their partitions.
-func runBatch(be *engine.Backend, n, workers int, newRun func(p disk.Pager) func(i int) (int, error)) (BatchStats, error) {
+//
+// Every query is additionally recorded as one metric op tagged with its
+// worker — counter deltas around the query give exact per-op I/O without a
+// second counting layer — and checked against the kind's theorem bound
+// (idxLen records through a bound-declaring kind; bound may be nil). With
+// strict bounds armed a breach aborts the worker like a query error.
+func runBatch(be *engine.Backend, kindName, opName string, idxLen, n, workers int, bound obs.BoundFunc, newRun func(p disk.Pager) func(i int) (int, error)) (BatchStats, error) {
 	workers = batchWorkers(n, workers)
 	st := BatchStats{
 		Workers:   workers,
@@ -82,6 +91,7 @@ func runBatch(be *engine.Backend, n, workers int, newRun func(p disk.Pager) func
 		PerWorker: make([]WorkerBatchStats, workers),
 	}
 	counters := make([]disk.Counter, workers)
+	pageSize := be.Pager().PageSize()
 
 	errs := make([]error, workers)
 	errIdx := make([]int, workers)
@@ -90,12 +100,29 @@ func runBatch(be *engine.Backend, n, workers int, newRun func(p disk.Pager) func
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			run := newRun(be.OpPager(&counters[w]))
+			ctr := &counters[w]
+			run := newRun(be.OpPager(ctr))
 			ws := &st.PerWorker[w]
 			for i := w; i < n; i += workers {
+				op := be.Obs().Begin(kindName, opName, w)
+				before := ctr.Stats()
+				beforeHits := ctr.Hits()
 				t, err := run(i)
+				after := ctr.Stats()
+				m := obs.Measure{
+					Reads:     after.Reads - before.Reads,
+					Writes:    after.Writes - before.Writes,
+					CacheHits: ctr.Hits() - beforeHits,
+					Results:   t,
+				}
 				if err != nil {
+					be.Obs().End(op, m) // close the op; the query error wins
 					errs[w], errIdx[w] = err, i
+					return
+				}
+				m.Bound = evalBound(bound, pageSize, idxLen, t)
+				if _, serr := be.Obs().End(op, m); serr != nil {
+					errs[w], errIdx[w] = publicErr(serr), i
 					return
 				}
 				ws.Queries++
@@ -108,10 +135,11 @@ func runBatch(be *engine.Backend, n, workers int, newRun func(p disk.Pager) func
 	for w := range st.PerWorker {
 		ws := &st.PerWorker[w]
 		cs := counters[w].Stats()
-		ws.Reads, ws.Writes = cs.Reads, cs.Writes
+		ws.Reads, ws.Writes, ws.CacheHits = cs.Reads, cs.Writes, counters[w].Hits()
 		st.Results += ws.Results
 		st.Reads += ws.Reads
 		st.Writes += ws.Writes
+		st.CacheHits += ws.CacheHits
 	}
 	// Report the error with the smallest query index so the failure a
 	// caller sees does not depend on worker scheduling.
@@ -132,7 +160,7 @@ func runBatch(be *engine.Backend, n, workers int, newRun func(p disk.Pager) func
 // in input order. The index must not be mutated during the batch.
 func (ix *TwoSidedIndex) QueryBatch(qs []TwoSidedQuery, workers int) ([][]Point, BatchStats, error) {
 	out := make([][]Point, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+	st, err := runBatch(ix.be, ix.Kind(), "query", ix.idx.Len(), len(qs), workers, boundFor(ix.kind), func(p disk.Pager) func(i int) (int, error) {
 		view := ix.idx.WithPager(p)
 		return func(i int) (int, error) {
 			pts, _, err := view.Query(qs[i].A, qs[i].B)
@@ -149,7 +177,7 @@ func (ix *TwoSidedIndex) QueryBatch(qs []TwoSidedQuery, workers int) ([][]Point,
 // QueryBatch answers every 3-sided query concurrently; out[i] matches qs[i].
 func (ix *ThreeSidedIndex) QueryBatch(qs []ThreeSidedQuery, workers int) ([][]Point, BatchStats, error) {
 	out := make([][]Point, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+	st, err := runBatch(ix.be, ix.Kind(), "query", ix.idx.Len(), len(qs), workers, boundFor(kindThreeSide), func(p disk.Pager) func(i int) (int, error) {
 		view := ix.idx.WithPager(p)
 		return func(i int) (int, error) {
 			pts, _, err := view.Query(qs[i].A1, qs[i].A2, qs[i].B)
@@ -167,7 +195,7 @@ func (ix *ThreeSidedIndex) QueryBatch(qs []ThreeSidedQuery, workers int) ([][]Po
 // intervals containing qs[i].
 func (ix *SegmentIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
 	out := make([][]Interval, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+	st, err := runBatch(ix.be, ix.Kind(), "stab", ix.idx.Len(), len(qs), workers, boundFor(kindSegment), func(p disk.Pager) func(i int) (int, error) {
 		view := ix.idx.WithPager(p)
 		return func(i int) (int, error) {
 			ivs, _, err := view.Stab(qs[i])
@@ -185,7 +213,7 @@ func (ix *SegmentIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchS
 // intervals containing qs[i].
 func (ix *IntervalIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
 	out := make([][]Interval, len(qs))
-	st, err := runBatch(ix.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+	st, err := runBatch(ix.be, ix.Kind(), "stab", ix.idx.Len(), len(qs), workers, boundFor(kindInterval), func(p disk.Pager) func(i int) (int, error) {
 		view := ix.idx.WithPager(p)
 		return func(i int) (int, error) {
 			ivs, _, err := view.Stab(qs[i])
@@ -203,7 +231,7 @@ func (ix *IntervalIndex) StabBatch(qs []int64, workers int) ([][]Interval, Batch
 // diagonal-corner reduction; out[i] holds the intervals containing qs[i].
 func (si *StabbingIndex) StabBatch(qs []int64, workers int) ([][]Interval, BatchStats, error) {
 	out := make([][]Interval, len(qs))
-	st, err := runBatch(si.be, len(qs), workers, func(p disk.Pager) func(i int) (int, error) {
+	st, err := runBatch(si.be, si.Kind(), "stab", si.ix.idx.Len(), len(qs), workers, boundFor(kindStabbing), func(p disk.Pager) func(i int) (int, error) {
 		view := si.ix.idx.WithPager(p)
 		return func(i int) (int, error) {
 			pts, _, err := view.Query(-qs[i], qs[i])
@@ -225,7 +253,7 @@ func (si *StabbingIndex) StabBatch(qs []int64, workers int) ([][]Interval, Batch
 // stored under keys[i]. No Insert or Delete may run during the batch.
 func (ix *RangeIndex) SearchBatch(keys []int64, workers int) ([][]uint64, BatchStats, error) {
 	out := make([][]uint64, len(keys))
-	st, err := runBatch(ix.be, len(keys), workers, func(p disk.Pager) func(i int) (int, error) {
+	st, err := runBatch(ix.be, rangeKindName, "search", ix.idx.Len(), len(keys), workers, obs.LogBBound, func(p disk.Pager) func(i int) (int, error) {
 		view := ix.idx.WithPager(p)
 		return func(i int) (int, error) {
 			vals, err := view.Search(keys[i])

@@ -327,6 +327,30 @@ func TestConcurrentBatchesExactIO(t *testing.T) {
 			if pool == 0 && stA.Reads == 0 {
 				t.Fatal("uncached batch A reported zero reads")
 			}
+
+			// The metric series carry the same attribution: batch queries
+			// are the only ops recorded with a real worker tag, and their
+			// per-op read histograms must sum to the same store diff the
+			// counters rebuilt above.
+			var mOps, mReads, mWrites int64
+			for _, s := range ix.Metrics().Ops {
+				if s.Worker < 0 {
+					continue // serial series: the build
+				}
+				if s.Kind != "twosided" || s.Name != "query" {
+					t.Fatalf("unexpected worker series %s/%s", s.Kind, s.Name)
+				}
+				mOps += s.Ops
+				mReads += s.Reads.Sum
+				mWrites += s.Writes.Sum
+			}
+			if want := int64(len(qsA) + len(qsB)); mOps != want {
+				t.Fatalf("worker series record %d ops, want %d", mOps, want)
+			}
+			if mReads != dr || mWrites != dw {
+				t.Fatalf("per-op histogram I/O (%d,%d) != store diff (%d,%d)",
+					mReads, mWrites, dr, dw)
+			}
 		})
 	}
 }

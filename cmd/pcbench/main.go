@@ -12,9 +12,13 @@
 // serial through the sharded buffer pool.
 //
 // -json DIR runs a compact measurement suite instead of the tables and
-// writes one BENCH_<family>.json per structure family into DIR: measured
-// I/O counts per query beside the paper's predicted bound and their ratio,
-// for dashboards and regression tracking.
+// writes one BENCH_<kind>.json per registered index kind into DIR:
+// measured I/O counts per query beside the paper's predicted bound and
+// their ratio, plus the log₂-bucketed per-query reads histogram and the
+// worst single-query bound ratio, for dashboards and regression tracking.
+// The suite commits atomically — reports are staged as .tmp files and
+// renamed only once every family succeeded, so a failed run never leaves
+// DIR with a mix of fresh and stale reports.
 package main
 
 import (

@@ -61,6 +61,12 @@ func TestGoldenOutput(t *testing.T) {
 		{"query", "-in", filepath.Join(dir, "win.pc"), "-q", "20 70 30 80"},
 		{"verify", "-in", filepath.Join(dir, "two.pc")},
 		{"verify", "-in", filepath.Join(dir, "seg.pc")},
+		{"stats", "-in", filepath.Join(dir, "two.pc")},
+		{"stats", "-in", filepath.Join(dir, "three.pc")},
+		{"stats", "-in", filepath.Join(dir, "stab.pc")},
+		{"stats", "-in", filepath.Join(dir, "seg.pc")},
+		{"stats", "-in", filepath.Join(dir, "itv.pc")},
+		{"stats", "-in", filepath.Join(dir, "win.pc")},
 	}
 
 	var b strings.Builder

@@ -19,6 +19,13 @@
 //
 //	pcindex info -in pts.pc
 //
+// Metrics (runs one deterministic probe query, then prints the per-op
+// metric series the store recorded — read/write/hit histograms and the
+// worst theorem-bound ratio; durations are intentionally not printed so
+// the output stays golden-testable):
+//
+//	pcindex stats -in pts.pc
+//
 // Check integrity (every page and free-list stub against its checksum —
 // the post-crash health check):
 //
@@ -29,6 +36,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -48,6 +56,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
 	default:
@@ -60,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pcindex build|query|info|verify [flags] (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: pcindex build|query|info|stats|verify [flags] (see -h per subcommand)")
 	fmt.Fprintln(os.Stderr, "")
 	fmt.Fprintln(os.Stderr, "The CLI's output is pinned by a golden transcript; after an intentional")
 	fmt.Fprintln(os.Stderr, "output change, regenerate it with `make golden` (equivalently:")
@@ -328,6 +338,96 @@ func runInfo(args []string) error {
 	}
 	fmt.Printf("records: %d\npages: %d\n", o.ix.Len(), o.ix.Pages())
 	return nil
+}
+
+// runStats reopens an index, runs one deterministic full-range probe for
+// its kind, and pretty-prints the resulting Metrics snapshot. Only
+// deterministic fields are printed — series identity, op/result counts,
+// the I/O histograms, and the max bound ratio — never durations, so the
+// output is stable under the golden transcript.
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "index file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("stats requires -in")
+	}
+	o, err := openAny(*in)
+	if err != nil {
+		return err
+	}
+	defer o.close()
+
+	results, err := probe(o)
+	if err != nil {
+		return err
+	}
+	m := o.ix.Metrics()
+	fmt.Printf("kind: %s\nprobe: %d results\n", o.kind, results)
+	fmt.Printf("inflight: %d\nseries: %d\n", m.Inflight, len(m.Ops))
+	for _, s := range m.Ops {
+		fmt.Printf("op %s/%s worker=%s: ops=%d results=%d\n",
+			s.Kind, s.Name, workerLabel(s.Worker), s.Ops, s.Results)
+		fmt.Printf("  reads:  %s\n", histLine(s.Reads))
+		fmt.Printf("  writes: %s\n", histLine(s.Writes))
+		fmt.Printf("  hits:   %s\n", histLine(s.CacheHits))
+		fmt.Printf("  bound:  max-ratio=%.2f\n", s.MaxBoundRatio)
+	}
+	return nil
+}
+
+// probe runs the stats subcommand's deterministic query for the index's
+// kind: a full-range query for the point kinds, a stab at 0 for the
+// interval kinds. The exact query does not matter — it only has to be the
+// same on every machine so the recorded I/O is too.
+func probe(o *opened) (int, error) {
+	const lo, hi = math.MinInt64, math.MaxInt64
+	switch o.kind {
+	case "twosided":
+		pts, err := o.two.Query(lo, lo)
+		return len(pts), err
+	case "threeside":
+		pts, err := o.three.Query(lo, hi, lo)
+		return len(pts), err
+	case "stabbing":
+		ivs, err := o.stab.Stab(0)
+		return len(ivs), err
+	case "segment":
+		ivs, err := o.seg.Stab(0)
+		return len(ivs), err
+	case "interval":
+		ivs, err := o.itv.Stab(0)
+		return len(ivs), err
+	default: // window; openAny rejects anything else
+		pts, err := o.win.Query(lo, hi, lo, hi)
+		return len(pts), err
+	}
+}
+
+// workerLabel names a series' worker tag: batch worker index, or "serial"
+// for ops recorded outside any batch.
+func workerLabel(w int) string {
+	if w == pathcache.SerialWorker {
+		return "serial"
+	}
+	return strconv.Itoa(w)
+}
+
+// histLine renders one metric histogram on a single line: totals followed
+// by every non-empty log₂ bucket as "[lo,hi]:count".
+func histLine(h pathcache.Histogram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d sum=%d min=%d max=%d", h.Count, h.Sum, h.Min, h.Max)
+	for _, bk := range h.Buckets {
+		if bk.Hi == math.MaxInt64 {
+			fmt.Fprintf(&b, " [%d,+inf):%d", bk.Lo, bk.Count)
+			continue
+		}
+		fmt.Fprintf(&b, " [%d,%d]:%d", bk.Lo, bk.Hi, bk.Count)
+	}
+	return b.String()
 }
 
 // runVerify scans an index file against its checksums and prints what it

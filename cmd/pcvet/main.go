@@ -25,6 +25,7 @@ import (
 	"pathcache/internal/analysis/errwrapinjected"
 	"pathcache/internal/analysis/fixedwidth"
 	"pathcache/internal/analysis/lockheldio"
+	"pathcache/internal/analysis/obsdiscipline"
 	"pathcache/internal/analysis/pagerdiscipline"
 )
 
@@ -33,6 +34,7 @@ var all = []*analysis.Analyzer{
 	pagerdiscipline.Analyzer,
 	lockheldio.Analyzer,
 	fixedwidth.Analyzer,
+	obsdiscipline.Analyzer,
 	errwrapinjected.Analyzer,
 }
 

@@ -8,6 +8,7 @@ import (
 	"pathcache/internal/analysis/errwrapinjected"
 	"pathcache/internal/analysis/fixedwidth"
 	"pathcache/internal/analysis/lockheldio"
+	"pathcache/internal/analysis/obsdiscipline"
 	"pathcache/internal/analysis/pagerdiscipline"
 )
 
@@ -45,6 +46,11 @@ var encoderPackages = append([]string{"internal/record", "internal/disk"}, index
 // bare module path is the root pathcache package (batch.go).
 var lockPackages = []string{"internal/disk", "pathcache"}
 
+// obsExempt are the sanctioned metric-recording seams; obsdiscipline runs
+// on every other package (the analyzer also self-gates, so the fixture
+// packages still exercise it).
+var obsExempt = []string{"internal/obs", "internal/engine", "pathcache"}
+
 // analyzersFor selects the analyzers for importPath. Fixture packages run
 // the analyzer their name starts with, or every analyzer when none matches,
 // so the multichecker can be pointed at any fixture directly.
@@ -71,6 +77,9 @@ func analyzersFor(importPath string) []*analysis.Analyzer {
 	}
 	if matchesAny(importPath, encoderPackages) {
 		out = append(out, fixedwidth.Analyzer)
+	}
+	if !matchesAny(importPath, obsExempt) {
+		out = append(out, obsdiscipline.Analyzer)
 	}
 	out = append(out, errwrapinjected.Analyzer)
 	return out

@@ -1,0 +1,16 @@
+package obsdiscipline_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/obsdiscipline"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/obsdiscipline_bad", obsdiscipline.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/obsdiscipline_good", obsdiscipline.Analyzer)
+}

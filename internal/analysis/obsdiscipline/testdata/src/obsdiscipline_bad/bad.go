@@ -1,0 +1,31 @@
+// Package obsdiscipline_bad exercises every violation class the
+// obsdiscipline analyzer reports: recording ops beneath the public seam,
+// reconfiguring a registry from the outside, and forging registries.
+package obsdiscipline_bad
+
+import (
+	"pathcache/internal/obs"
+)
+
+// forge creates registries the owning Backend never sees.
+func forge() *obs.Registry {
+	r := obs.NewRegistry() // want `obs\.NewRegistry outside internal/engine`
+	_ = &obs.Registry{}    // want `constructing obs\.Registry with a composite literal`
+	return r
+}
+
+// recordBeneathSeam records an op directly, bypassing the op-scoped
+// counter the public layer would have attached.
+func recordBeneathSeam(r *obs.Registry) error {
+	op := r.Begin("twosided", "query", obs.SerialWorker) // want `obs\.Registry\.Begin outside the recording seams`
+	_, err := r.End(op, obs.Measure{Reads: 1})           // want `obs\.Registry\.End outside the recording seams`
+	return err
+}
+
+// reconfigure flips recording configuration owned by the engine.
+func reconfigure(r *obs.Registry, t obs.Tracer) {
+	r.SetStrict(true) // want `obs\.Registry\.SetStrict outside the recording seams`
+	r.SetLimits(2, 1) // want `obs\.Registry\.SetLimits outside the recording seams`
+	r.SetTracer(t)    // want `obs\.Registry\.SetTracer outside the recording seams`
+	r.Reset()         // want `obs\.Registry\.Reset outside the recording seams`
+}

@@ -1,0 +1,30 @@
+// Package obsdiscipline_good exercises the sanctioned observability
+// patterns: the standalone metric primitives anywhere, and the registry's
+// read-only surface.
+package obsdiscipline_good
+
+import (
+	"pathcache/internal/obs"
+)
+
+// aggregate uses the standalone primitives directly — the bench harness
+// does exactly this to histogram its own per-query samples.
+func aggregate(h *obs.Histogram, c *obs.Counter, g *obs.Gauge) obs.HistSnapshot {
+	h.Observe(3)
+	c.Add(1, 2)
+	g.Inc()
+	_ = c.Total()
+	return h.Snapshot()
+}
+
+// inspect reads a registry without mutating it.
+func inspect(r *obs.Registry) (int64, bool, obs.Snapshot) {
+	maxRatio, slack := r.Limits()
+	_ = maxRatio + slack
+	return r.Inflight(), r.Strict(), r.Snapshot()
+}
+
+// bounds evaluates the declared bound functions; pure arithmetic.
+func bounds(n, b, t int) float64 {
+	return obs.LogBBound(n, b, t) + obs.RangeTreeBound(n, b, t)
+}

@@ -1,9 +1,13 @@
 package bench
 
 // Machine-readable benchmark output: a compact measurement suite whose
-// results are written as BENCH_<name>.json files, one per structure family,
-// so dashboards and regression scripts can track I/O counts and bound
-// ratios without scraping the human-oriented tables.
+// results are written as BENCH_<name>.json files, one per registered index
+// kind, so dashboards and regression scripts can track I/O counts and
+// bound ratios without scraping the human-oriented tables. Beside the
+// per-battery averages, every measurement carries the log₂-bucketed
+// distribution of per-query page reads and the worst single-query
+// reads/bound ratio — the same shape the observability layer's sentinels
+// police at runtime (DESIGN.md §10).
 
 import (
 	"encoding/json"
@@ -17,9 +21,27 @@ import (
 	"pathcache/internal/extpst"
 	"pathcache/internal/extseg"
 	"pathcache/internal/extwindow"
+	"pathcache/internal/obs"
 	"pathcache/internal/record"
 	"pathcache/internal/workload"
 )
+
+// HistBucket is one non-empty log₂ bucket of a per-query distribution,
+// covering the inclusive value range [Lo, Hi].
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Hist is the JSON shape of a per-query reads histogram.
+type Hist struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets"`
+}
 
 // Measurement is one (structure, n) cell: measured average I/O per query
 // beside the paper's predicted bound, and their ratio — the number the
@@ -35,6 +57,11 @@ type Measurement struct {
 	Ratio      float64 `json:"ratio"`                 // AvgReads / Bound
 	Pages      int     `json:"pages"`                 // storage footprint in pages
 	SpaceBound float64 `json:"space_bound,omitempty"` // predicted pages, when the theorem gives one
+	// ReadsHist distributes the per-query page reads behind AvgReads, and
+	// MaxRatio is the worst single-query reads/bound ratio observed (each
+	// query checked against its own bound: search term + t_q/B).
+	ReadsHist *Hist   `json:"reads_hist,omitempty"`
+	MaxRatio  float64 `json:"max_ratio,omitempty"`
 }
 
 // Report is the payload of one BENCH_<name>.json file.
@@ -51,6 +78,72 @@ func ratio(measured, bound float64) float64 {
 		return 0
 	}
 	return measured / bound
+}
+
+// querySampler accumulates the per-query distribution behind one
+// Measurement: totals for the averages, the reads histogram, and the worst
+// per-query bound ratio.
+type querySampler struct {
+	hist     obs.Histogram
+	reads    int64
+	results  int64
+	queries  int
+	maxRatio float64
+}
+
+// observe records one query: its page reads, result count, and the bound
+// evaluated at this query's own output size.
+func (qs *querySampler) observe(reads int64, t int, bound float64) {
+	qs.hist.Observe(reads)
+	qs.reads += reads
+	qs.results += int64(t)
+	qs.queries++
+	if r := ratio(float64(reads), bound); r > qs.maxRatio {
+		qs.maxRatio = r
+	}
+}
+
+func (qs *querySampler) avgReads() float64 {
+	if qs.queries == 0 {
+		return 0
+	}
+	return float64(qs.reads) / float64(qs.queries)
+}
+
+func (qs *querySampler) avgResults() float64 {
+	if qs.queries == 0 {
+		return 0
+	}
+	return float64(qs.results) / float64(qs.queries)
+}
+
+func (qs *querySampler) histJSON() *Hist {
+	s := qs.hist.Snapshot()
+	h := &Hist{Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max}
+	for _, b := range s.Buckets {
+		h.Buckets = append(h.Buckets, HistBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+	}
+	return h
+}
+
+// measurement folds the sampler into one JSON cell against the battery's
+// average-t bound.
+func (qs *querySampler) measurement(structure string, n, b, pages int, search float64) Measurement {
+	avgT := qs.avgResults()
+	bound := search + avgT/float64(b)
+	return Measurement{
+		Structure:  structure,
+		N:          n,
+		B:          b,
+		Queries:    qs.queries,
+		AvgReads:   qs.avgReads(),
+		AvgResults: avgT,
+		Bound:      bound,
+		Ratio:      ratio(qs.avgReads(), bound),
+		Pages:      pages,
+		ReadsHist:  qs.histJSON(),
+		MaxRatio:   qs.maxRatio,
+	}
 }
 
 // jsonPointNs keeps the JSON suite quick: it is a tracking artifact, not the
@@ -82,22 +175,17 @@ func twoSidedReport(cfg Config) (Report, error) {
 			if err != nil {
 				return rep, fmt.Errorf("build %s n=%d: %w", sc.name, n, err)
 			}
-			avgReads, avgT, err := measure2Sided(s, tr, qs)
-			if err != nil {
-				return rep, fmt.Errorf("query %s n=%d: %w", sc.name, n, err)
+			var samp querySampler
+			for _, q := range qs {
+				s.ResetStats()
+				out, _, err := tr.Query(q.A, q.B)
+				if err != nil {
+					return rep, fmt.Errorf("query %s n=%d: %w", sc.name, n, err)
+				}
+				samp.observe(s.Stats().Reads, len(out), sc.search+float64(len(out))/float64(b))
 			}
-			bound := sc.search + avgT/float64(b)
-			rep.Measurements = append(rep.Measurements, Measurement{
-				Structure:  "twosided/" + sc.name,
-				N:          n,
-				B:          b,
-				Queries:    len(qs),
-				AvgReads:   avgReads,
-				AvgResults: avgT,
-				Bound:      bound,
-				Ratio:      ratio(avgReads, bound),
-				Pages:      tr.TotalPages(),
-			})
+			rep.Measurements = append(rep.Measurements,
+				samp.measurement("twosided/"+sc.name, n, b, tr.TotalPages(), sc.search))
 		}
 	}
 	return rep, nil
@@ -114,99 +202,111 @@ func threeSidedReport(cfg Config) (Report, error) {
 		if err != nil {
 			return rep, fmt.Errorf("build threeside n=%d: %w", n, err)
 		}
-		var reads, results int64
+		search := float64(logB(n, b))
+		var samp querySampler
 		for _, q := range qs {
 			s.ResetStats()
 			out, _, err := tr.Query(q.A1, q.A2, q.B)
 			if err != nil {
 				return rep, fmt.Errorf("query threeside n=%d: %w", n, err)
 			}
-			reads += s.Stats().Reads
-			results += int64(len(out))
+			samp.observe(s.Stats().Reads, len(out), search+float64(len(out))/float64(b))
 		}
-		avgReads := float64(reads) / float64(len(qs))
-		avgT := float64(results) / float64(len(qs))
-		bound := float64(logB(n, b)) + avgT/float64(b)
-		rep.Measurements = append(rep.Measurements, Measurement{
-			Structure:  "threeside",
-			N:          n,
-			B:          b,
-			Queries:    len(qs),
-			AvgReads:   avgReads,
-			AvgResults: avgT,
-			Bound:      bound,
-			Ratio:      ratio(avgReads, bound),
-			Pages:      tr.TotalPages(),
-		})
+		rep.Measurements = append(rep.Measurements,
+			samp.measurement("threeside", n, b, tr.TotalPages(), search))
 	}
 	return rep, nil
 }
 
-func stabReport(cfg Config) (Report, error) {
-	rep := Report{Name: "stabbing", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+func segmentReport(cfg Config) (Report, error) {
+	rep := Report{Name: "segment", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
 	b := disk.ChainCap(cfg.pageSize(), record.IntervalSize)
 	for _, n := range cfg.jsonPointNs() {
 		ivs := workload.UniformIntervals(n, 1<<30, 1<<24, cfg.seed())
 		qs := workload.StabQueries(cfg.queries(), 1<<30, cfg.seed()+3)
-		type built struct {
-			name string
-			stab func(q int64) (int, int64, error) // results, reads
-		}
-		var variants []built
-
+		search := float64(logB(n, b))
 		for _, v := range []extseg.Variant{extseg.Naive, extseg.PathCached} {
 			s := disk.MustStore(cfg.pageSize())
 			tr, err := extseg.Build(s, ivs, v)
 			if err != nil {
 				return rep, fmt.Errorf("build segment/%v n=%d: %w", v, n, err)
 			}
-			variants = append(variants, built{
-				name: "segment/" + v.String(),
-				stab: func(q int64) (int, int64, error) {
-					s.ResetStats()
-					out, _, err := tr.Stab(q)
-					return len(out), s.Stats().Reads, err
-				},
-			})
-		}
-		intStore := disk.MustStore(cfg.pageSize())
-		itr, err := extint.Build(intStore, ivs, extint.PathCached)
-		if err != nil {
-			return rep, fmt.Errorf("build interval n=%d: %w", n, err)
-		}
-		variants = append(variants, built{
-			name: "interval/path-cached",
-			stab: func(q int64) (int, int64, error) {
-				intStore.ResetStats()
-				out, _, err := itr.Stab(q)
-				return len(out), intStore.Stats().Reads, err
-			},
-		})
-
-		for _, v := range variants {
-			var reads, results int64
+			var samp querySampler
 			for _, q := range qs {
-				t, r, err := v.stab(q)
+				s.ResetStats()
+				out, _, err := tr.Stab(q)
 				if err != nil {
-					return rep, fmt.Errorf("stab %s n=%d: %w", v.name, n, err)
+					return rep, fmt.Errorf("stab segment/%v n=%d: %w", v, n, err)
 				}
-				results += int64(t)
-				reads += r
+				samp.observe(s.Stats().Reads, len(out), search+float64(len(out))/float64(b))
 			}
-			avgReads := float64(reads) / float64(len(qs))
-			avgT := float64(results) / float64(len(qs))
-			bound := float64(logB(n, b)) + avgT/float64(b)
-			rep.Measurements = append(rep.Measurements, Measurement{
-				Structure:  v.name,
-				N:          n,
-				B:          b,
-				Queries:    len(qs),
-				AvgReads:   avgReads,
-				AvgResults: avgT,
-				Bound:      bound,
-				Ratio:      ratio(avgReads, bound),
-			})
+			rep.Measurements = append(rep.Measurements,
+				samp.measurement("segment/"+v.String(), n, b, tr.TotalPages(), search))
 		}
+	}
+	return rep, nil
+}
+
+func intervalReport(cfg Config) (Report, error) {
+	rep := Report{Name: "interval", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.IntervalSize)
+	for _, n := range cfg.jsonPointNs() {
+		ivs := workload.UniformIntervals(n, 1<<30, 1<<24, cfg.seed())
+		qs := workload.StabQueries(cfg.queries(), 1<<30, cfg.seed()+3)
+		search := float64(logB(n, b))
+		for _, v := range []extint.Variant{extint.Naive, extint.PathCached} {
+			s := disk.MustStore(cfg.pageSize())
+			tr, err := extint.Build(s, ivs, v)
+			if err != nil {
+				return rep, fmt.Errorf("build interval/%v n=%d: %w", v, n, err)
+			}
+			var samp querySampler
+			for _, q := range qs {
+				s.ResetStats()
+				out, _, err := tr.Stab(q)
+				if err != nil {
+					return rep, fmt.Errorf("stab interval/%v n=%d: %w", v, n, err)
+				}
+				samp.observe(s.Stats().Reads, len(out), search+float64(len(out))/float64(b))
+			}
+			rep.Measurements = append(rep.Measurements,
+				samp.measurement("interval/"+v.String(), n, b, tr.TotalPages(), search))
+		}
+	}
+	return rep, nil
+}
+
+// stabbingReport measures interval stabbing through the diagonal-corner
+// reduction onto the segmented 2-sided structure — the construction behind
+// the public StabbingIndex: interval [lo, hi] becomes the point (-lo, hi)
+// and a stab at q becomes the 2-sided query {x >= -q, y >= q}.
+func stabbingReport(cfg Config) (Report, error) {
+	rep := Report{Name: "stabbing", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.PointSize)
+	for _, n := range cfg.jsonPointNs() {
+		ivs := workload.UniformIntervals(n, 1<<30, 1<<24, cfg.seed())
+		pts := make([]record.Point, len(ivs))
+		for i, iv := range ivs {
+			pts[i] = record.Point{X: -iv.Lo, Y: iv.Hi, ID: iv.ID}
+		}
+		qs := workload.StabQueries(cfg.queries(), 1<<30, cfg.seed()+3)
+		s := disk.MustStore(cfg.pageSize())
+		tr, err := extpst.Build(s, pts, extpst.Segmented)
+		if err != nil {
+			return rep, fmt.Errorf("build stabbing n=%d: %w", n, err)
+		}
+		search := float64(logB(n, b))
+		var samp querySampler
+		for _, q := range qs {
+			s.ResetStats()
+			out, _, err := tr.Query(-q, q)
+			if err != nil {
+				return rep, fmt.Errorf("stab stabbing n=%d: %w", n, err)
+			}
+			samp.observe(s.Stats().Reads, len(out), search+float64(len(out))/float64(b))
+		}
+		rep.Measurements = append(rep.Measurements,
+			samp.measurement("stabbing/segmented", n, b, tr.TotalPages(), search))
 	}
 	return rep, nil
 }
@@ -222,44 +322,38 @@ func windowReport(cfg Config) (Report, error) {
 		if err != nil {
 			return rep, fmt.Errorf("build window n=%d: %w", n, err)
 		}
-		var reads, results int64
+		// The range tree answers in O(log(n/B) + t/B) with a log-factor
+		// space blowup (see internal/extwindow).
+		search := float64(log2((n + b - 1) / b))
+		var samp querySampler
 		for _, q := range qs {
 			s.ResetStats()
 			out, _, err := tr.Query(q.A1, q.A2, q.B, 1<<30)
 			if err != nil {
 				return rep, fmt.Errorf("query window n=%d: %w", n, err)
 			}
-			reads += s.Stats().Reads
-			results += int64(len(out))
+			samp.observe(s.Stats().Reads, len(out), search+float64(len(out))/float64(b))
 		}
-		avgReads := float64(reads) / float64(len(qs))
-		avgT := float64(results) / float64(len(qs))
-		// The range tree answers in O(log(n/B) + t/B) with a log-factor
-		// space blowup (see internal/extwindow).
-		bound := float64(log2((n+b-1)/b)) + avgT/float64(b)
-		rep.Measurements = append(rep.Measurements, Measurement{
-			Structure:  "window/range-tree",
-			N:          n,
-			B:          b,
-			Queries:    len(qs),
-			AvgReads:   avgReads,
-			AvgResults: avgT,
-			Bound:      bound,
-			Ratio:      ratio(avgReads, bound),
-			Pages:      tr.TotalPages(),
-			SpaceBound: float64((n + b - 1) / b * log2((n+b-1)/b)),
-		})
+		m := samp.measurement("window/range-tree", n, b, tr.TotalPages(), search)
+		m.SpaceBound = float64((n + b - 1) / b * log2((n+b-1)/b))
+		rep.Measurements = append(rep.Measurements, m)
 	}
 	return rep, nil
+}
+
+// jsonFamilies is the report suite WriteJSON and JSONReports run — one
+// family per registered index kind, so checkJSONNames in cmd/pcbench can
+// validate BENCH_* names against the engine registry. A package variable
+// so the atomic-write regression test can inject a failing family.
+var jsonFamilies = []func(Config) (Report, error){
+	twoSidedReport, threeSidedReport, segmentReport, intervalReport, stabbingReport, windowReport,
 }
 
 // JSONReports runs the compact measurement suite and returns one report per
 // structure family.
 func JSONReports(cfg Config) ([]Report, error) {
 	var out []Report
-	for _, f := range []func(Config) (Report, error){
-		twoSidedReport, threeSidedReport, stabReport, windowReport,
-	} {
+	for _, f := range jsonFamilies {
 		rep, err := f(cfg)
 		if err != nil {
 			return nil, err
@@ -271,25 +365,48 @@ func JSONReports(cfg Config) ([]Report, error) {
 
 // WriteJSON runs the suite and writes BENCH_<name>.json for every report
 // into dir (created if missing). It returns the written paths.
+//
+// The write is atomic at suite granularity: every report is staged as
+// BENCH_<name>.json.tmp while the suite runs, and the stages are renamed
+// into place only after every family succeeded. A family that errors
+// mid-run therefore never leaves dir holding a half-updated mix of fresh
+// and stale reports — on failure the staged temporaries are removed and
+// any previous BENCH files are untouched.
 func WriteJSON(dir string, cfg Config) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	reps, err := JSONReports(cfg)
-	if err != nil {
-		return nil, err
+	var tmps, paths []string
+	cleanup := func() {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
 	}
-	var paths []string
-	for _, rep := range reps {
+	for _, f := range jsonFamilies {
+		rep, err := f(cfg)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
+			cleanup()
 			return nil, err
 		}
 		p := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rep.Name))
-		if err := os.WriteFile(p, append(blob, '\n'), 0o644); err != nil {
+		tmp := p + ".tmp"
+		if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+			cleanup()
 			return nil, err
 		}
+		tmps = append(tmps, tmp)
 		paths = append(paths, p)
+	}
+	for i, tmp := range tmps {
+		if err := os.Rename(tmp, paths[i]); err != nil {
+			cleanup()
+			return nil, err
+		}
 	}
 	return paths, nil
 }

@@ -23,6 +23,8 @@ func TestWriteJSON(t *testing.T) {
 	wantNames := map[string]bool{
 		"BENCH_twosided.json":  true,
 		"BENCH_threeside.json": true,
+		"BENCH_segment.json":   true,
+		"BENCH_interval.json":  true,
 		"BENCH_stabbing.json":  true,
 		"BENCH_window.json":    true,
 	}
@@ -60,6 +62,79 @@ func TestWriteJSON(t *testing.T) {
 			if m.Ratio > 50 {
 				t.Fatalf("%s: %s n=%d: ratio %.1f implausibly far from bound", p, m.Structure, m.N, m.Ratio)
 			}
+			if m.ReadsHist == nil {
+				t.Fatalf("%s: %s n=%d: missing reads histogram", p, m.Structure, m.N)
+			}
+			if m.ReadsHist.Count != int64(m.Queries) {
+				t.Fatalf("%s: %s n=%d: histogram count %d != %d queries",
+					p, m.Structure, m.N, m.ReadsHist.Count, m.Queries)
+			}
+			var bucketSum int64
+			for _, bk := range m.ReadsHist.Buckets {
+				bucketSum += bk.Count
+			}
+			if bucketSum != m.ReadsHist.Count {
+				t.Fatalf("%s: %s n=%d: histogram buckets sum to %d, count %d",
+					p, m.Structure, m.N, bucketSum, m.ReadsHist.Count)
+			}
+			// The worst single query can't beat the battery average, and a
+			// sane structure keeps it within the same loose constant.
+			if m.MaxRatio <= 0 || m.MaxRatio > 50 {
+				t.Fatalf("%s: %s n=%d: max_ratio %.1f out of range", p, m.Structure, m.N, m.MaxRatio)
+			}
 		}
+	}
+}
+
+// TestWriteJSONAtomic pins the two-phase commit of WriteJSON: a family
+// that errors mid-suite must leave the output directory exactly as it was
+// — no BENCH files from the partial run, no stale mix with previous
+// results, and no leaked .tmp stages.
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{PageSize: 1024, Seed: 1, Small: true}
+
+	// Seed the directory with a previous run's report to prove a failed
+	// run does not clobber it.
+	prev := filepath.Join(dir, "BENCH_twosided.json")
+	if err := os.WriteFile(prev, []byte(`{"name":"twosided"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := jsonFamilies
+	defer func() { jsonFamilies = orig }()
+	ranFirst := false
+	jsonFamilies = []func(Config) (Report, error){
+		func(cfg Config) (Report, error) {
+			ranFirst = true
+			return twoSidedReport(cfg)
+		},
+		func(Config) (Report, error) {
+			return Report{}, os.ErrDeadlineExceeded // any sentinel will do
+		},
+	}
+
+	if _, err := WriteJSON(dir, cfg); err == nil {
+		t.Fatal("WriteJSON with failing family: want error, got nil")
+	}
+	if !ranFirst {
+		t.Fatal("first family never ran; injection is miswired")
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "BENCH_twosided.json" {
+			t.Fatalf("failed run left %s behind", e.Name())
+		}
+	}
+	blob, err := os.ReadFile(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `{"name":"twosided"}`+"\n" {
+		t.Fatalf("failed run clobbered previous report: %s", blob)
 	}
 }

@@ -16,6 +16,7 @@ type Counter struct {
 	writes atomic.Int64
 	allocs atomic.Int64
 	frees  atomic.Int64
+	hits   atomic.Int64
 }
 
 // Stats returns a snapshot of the counters.
@@ -28,12 +29,20 @@ func (c *Counter) Stats() Stats {
 	}
 }
 
+// Hits returns the number of page accesses this operation satisfied from a
+// buffer pool without touching the store. Hits are free in the Stats sense
+// — they are not transfers — but the observability layer histograms them
+// to show how much I/O the pool absorbed per operation. A counter wrapped
+// over a pool-less pager never accrues hits.
+func (c *Counter) Hits() int64 { return c.hits.Load() }
+
 // Reset zeroes the counters.
 func (c *Counter) Reset() {
 	c.reads.Store(0)
 	c.writes.Store(0)
 	c.allocs.Store(0)
 	c.frees.Store(0)
+	c.hits.Store(0)
 }
 
 // The add helpers are nil-tolerant so shared code paths (the buffer pool's
@@ -61,6 +70,12 @@ func (c *Counter) addAlloc() {
 func (c *Counter) addFree() {
 	if c != nil {
 		c.frees.Add(1)
+	}
+}
+
+func (c *Counter) addHit() {
+	if c != nil {
+		c.hits.Add(1)
 	}
 }
 

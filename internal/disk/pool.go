@@ -185,6 +185,7 @@ func (p *BufferPool) read(id PageID, buf []byte, c *Counter) error {
 	defer sh.mu.Unlock()
 	if el, ok := sh.frames[id]; ok {
 		sh.hits.Add(1)
+		c.addHit()
 		sh.lru.MoveToFront(el)
 		copy(buf, el.Value.(*frame).data)
 		return nil
@@ -223,6 +224,7 @@ func (p *BufferPool) write(id PageID, buf []byte, c *Counter) error {
 	defer sh.mu.Unlock()
 	if el, ok := sh.frames[id]; ok {
 		sh.hits.Add(1)
+		c.addHit()
 		sh.lru.MoveToFront(el)
 		f := el.Value.(*frame)
 		copy(f.data, buf[:ps])

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"pathcache/internal/disk"
+	"pathcache/internal/obs"
 )
 
 // DefaultPageSize is used when Config.PageSize is zero.
@@ -33,6 +34,7 @@ type Backend struct {
 	pager disk.Pager
 	pool  *disk.BufferPool
 	file  *disk.FileStore // non-nil when the backend is file-backed
+	reg   *obs.Registry   // per-store metric registry; never nil
 }
 
 // Config selects the store behind a new backend.
@@ -53,6 +55,18 @@ type Config struct {
 	// WrapPager, when set, wraps the pager every structure sees — the
 	// fault-injection hook.
 	WrapPager func(disk.Pager) disk.Pager
+	// Tracer, when set, receives OpStart/OpEnd events for every operation
+	// recorded against this backend.
+	Tracer obs.Tracer
+	// StrictBounds arms the theorem-bound sentinels: operations whose
+	// measured reads breach their kind's declared bound fail with an error
+	// wrapping obs.ErrBoundExceeded.
+	StrictBounds bool
+	// BoundMaxRatio and BoundSlack tune the sentinel threshold
+	// (reads > BoundMaxRatio·bound + BoundSlack); non-positive values keep
+	// the obs defaults.
+	BoundMaxRatio float64
+	BoundSlack    float64
 }
 
 // New builds a backend from cfg. Errors are returned unwrapped; the public
@@ -68,7 +82,12 @@ func New(cfg Config) (*Backend, error) {
 	if ps == 0 {
 		ps = DefaultPageSize
 	}
-	be := &Backend{}
+	be := &Backend{reg: obs.NewRegistry()}
+	be.reg.SetStrict(cfg.StrictBounds)
+	be.reg.SetLimits(cfg.BoundMaxRatio, cfg.BoundSlack)
+	if cfg.Tracer != nil {
+		be.reg.SetTracer(cfg.Tracer)
+	}
 	switch {
 	case cfg.File != nil:
 		fs, err := disk.CreateFileStoreOn(cfg.File, ps)
@@ -111,7 +130,7 @@ func Open(path string) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{store: fs, pager: fs, file: fs}, nil
+	return &Backend{store: fs, pager: fs, file: fs, reg: obs.NewRegistry()}, nil
 }
 
 // Pager is the pager index structures build on and query through.
@@ -124,6 +143,11 @@ func (be *Backend) Pager() disk.Pager { return be.pager }
 func (be *Backend) OpPager(c *disk.Counter) disk.Pager {
 	return disk.WithCounter(be.pager, c)
 }
+
+// Obs returns the backend's metric registry. Every index operation on this
+// backend is recorded here; the public Metrics()/WithTracer APIs are views
+// of it.
+func (be *Backend) Obs() *obs.Registry { return be.reg }
 
 // Stats snapshots the store-level aggregate I/O counters.
 func (be *Backend) Stats() disk.Stats { return be.store.Stats() }

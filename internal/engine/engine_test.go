@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pathcache/internal/disk"
+	"pathcache/internal/obs"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -145,9 +146,10 @@ func TestSaveMetaBlobTooLarge(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	d := Descriptor{
-		Kind: 250,
-		Name: "testkind",
-		Open: func(be *Backend, meta []byte) (any, error) { return string(meta), nil },
+		Kind:  250,
+		Name:  "testkind",
+		Open:  func(be *Backend, meta []byte) (any, error) { return string(meta), nil },
+		Bound: obs.LogBBound,
 	}
 	Register(d)
 	got, ok := Lookup(250)
@@ -179,9 +181,10 @@ func TestRegistry(t *testing.T) {
 		}()
 		fn()
 	}
-	mustPanic("duplicate kind", func() { Register(Descriptor{Kind: 250, Name: "other", Open: d.Open}) })
-	mustPanic("duplicate name", func() { Register(Descriptor{Kind: 251, Name: "testkind", Open: d.Open}) })
-	mustPanic("nil open", func() { Register(Descriptor{Kind: 252, Name: "noopen"}) })
+	mustPanic("duplicate kind", func() { Register(Descriptor{Kind: 250, Name: "other", Open: d.Open, Bound: d.Bound}) })
+	mustPanic("duplicate name", func() { Register(Descriptor{Kind: 251, Name: "testkind", Open: d.Open, Bound: d.Bound}) })
+	mustPanic("nil open", func() { Register(Descriptor{Kind: 252, Name: "noopen", Bound: d.Bound}) })
+	mustPanic("nil bound", func() { Register(Descriptor{Kind: 253, Name: "nobound", Open: d.Open}) })
 }
 
 func TestOpPagerAttributesToCounter(t *testing.T) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"pathcache/internal/obs"
 )
 
 // Descriptor describes one persisted index kind: its on-disk kind byte, its
@@ -16,6 +18,12 @@ type Descriptor struct {
 	// Open rebuilds the public index wrapper on be from the metadata blob.
 	// The caller owns be and closes it on error — Open must not.
 	Open func(be *Backend, meta []byte) (any, error)
+	// Bound is the kind's theorem I/O bound in page reads for one query
+	// over n records with page capacity b returning t results — the formula
+	// the bound sentinels check measured reads against. Required: a
+	// persisted kind without an executable bound has no story for why its
+	// I/O is optimal.
+	Bound obs.BoundFunc
 }
 
 var (
@@ -27,7 +35,7 @@ var (
 // Register adds a kind descriptor. Index packages call it from init, once
 // per kind; duplicate kinds or names and incomplete descriptors panic.
 func Register(d Descriptor) {
-	if d.Name == "" || d.Open == nil {
+	if d.Name == "" || d.Open == nil || d.Bound == nil {
 		panic(fmt.Sprintf("engine: incomplete descriptor for kind %d", d.Kind))
 	}
 	regMu.Lock()

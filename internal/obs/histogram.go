@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// The metric primitives: a lock-striped atomic counter, a gauge, and a
+// log₂-bucketed histogram. All three are safe for concurrent use without
+// locks (run the package tests with -race), and all three report exact
+// totals: every Add/Observe lands on exactly one atomic, so concurrent
+// snapshots may lag but never lose or double-count an update.
+
+// counterStripes is the number of independent atomics a Counter spreads its
+// updates over. Power of two so the stripe pick is a mask, sized to cover
+// the worker counts the batch engine actually uses.
+const counterStripes = 8
+
+// stripe is one cacheline-padded counter lane. The padding keeps two lanes
+// from sharing a cache line, which is the entire point of striping: updates
+// with different hints do not bounce the same line between cores.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a lock-striped atomic counter. Callers pass a cheap affinity
+// hint (an op sequence number, a worker index) and updates with different
+// hints land on different stripes; Total folds the stripes into the exact
+// sum. The zero value is ready.
+type Counter struct {
+	lanes [counterStripes]stripe
+}
+
+// Add adds delta to the stripe selected by hint.
+func (c *Counter) Add(hint uint64, delta int64) {
+	c.lanes[hint&(counterStripes-1)].v.Add(delta)
+}
+
+// Total returns the exact sum over all stripes.
+func (c *Counter) Total() int64 {
+	var t int64
+	for i := range c.lanes {
+		t += c.lanes[i].v.Load()
+	}
+	return t
+}
+
+// Reset zeroes every stripe.
+func (c *Counter) Reset() {
+	for i := range c.lanes {
+		c.lanes[i].v.Store(0)
+	}
+}
+
+// Gauge is a settable level (inflight operations, resident frames). The
+// zero value is ready.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the gauge's level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the bucket count of a Histogram: bucket 0 holds
+// non-positive values, bucket i (1 ≤ i < histBuckets-1) holds
+// [2^(i-1), 2^i), and the last bucket absorbs everything larger. 34 buckets
+// cover per-op page counts up to 2^32, far beyond any real operation.
+const histBuckets = 34
+
+// Histogram is a log₂-bucketed distribution of non-negative int64 samples.
+// Buckets, sum, min and max are all atomics, so Observe never blocks and
+// concurrent observations are each counted exactly once. The zero value is
+// ready.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0; guarded by initMin
+	max     atomic.Int64
+	hasMin  atomic.Bool
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // 1 + floor(log2 v)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	// Min/max via CAS loops: lock-free, and each loop terminates because the
+	// tracked extreme only moves toward the sample.
+	if !h.hasMin.Load() {
+		h.hasMin.CompareAndSwap(false, true)
+		h.min.CompareAndSwap(0, v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	h.hasMin.Store(false)
+}
+
+// Bucket is one non-empty histogram bucket covering the inclusive value
+// range [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Concurrent Observe
+// calls may make Count lag the bucket sum by in-flight updates; quiescent
+// snapshots are exact.
+type HistSnapshot struct {
+	Count, Sum, Min, Max int64
+	Buckets              []Bucket
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return s
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i == 0:
+		return 0, 0
+	case i == histBuckets-1:
+		return 1 << (i - 1), math.MaxInt64
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}
+
+// String renders the snapshot compactly for logs and the pcindex stats
+// subcommand: totals then every non-empty bucket as "[lo,hi]:count".
+func (s HistSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%d min=%d max=%d", s.Sum, s.Min, s.Max)
+	for _, bk := range s.Buckets {
+		if bk.Hi == math.MaxInt64 {
+			fmt.Fprintf(&b, " [%d,+inf):%d", bk.Lo, bk.Count)
+			continue
+		}
+		fmt.Fprintf(&b, " [%d,%d]:%d", bk.Lo, bk.Hi, bk.Count)
+	}
+	return b.String()
+}

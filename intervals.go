@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"pathcache/internal/disk"
 	"pathcache/internal/engine"
 	"pathcache/internal/extint"
 	"pathcache/internal/extseg"
@@ -49,23 +48,19 @@ func NewStabbingIndex(ivs []Interval, scheme Scheme, opts *Options) (*StabbingIn
 
 // Stab reports every interval containing q.
 func (si *StabbingIndex) Stab(q int64) ([]Interval, error) {
-	pts, err := si.ix.Query(-q, q)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Interval, len(pts))
-	for i, p := range pts {
-		out[i] = pointToInterval(p)
-	}
-	return out, nil
+	ivs, _, err := si.StabProfile(q)
+	return ivs, err
 }
 
 // StabProfile is Stab plus the query's I/O profile, including the exact
 // page transfers attributed to this one query by an op-scoped counter.
+// The reduction records exactly one "stab" op under the stabbing kind —
+// not an inner 2-sided "query" — so metric series reflect the operation
+// the caller asked for.
 func (si *StabbingIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
-	pts, prof, err := si.ix.QueryProfile(-q, q)
+	pts, prof, err := si.ix.queryAs("stab", -q, q)
 	if err != nil {
-		return nil, IOProfile{}, err
+		return nil, prof, err
 	}
 	out := make([]Interval, len(pts))
 	for i, p := range pts {
@@ -78,7 +73,7 @@ func (si *StabbingIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
 func (si *StabbingIndex) Len() int { return si.ix.Len() }
 
 // Kind reports the index's registry name.
-func (si *StabbingIndex) Kind() string { return engine.KindName(kindStabbing) }
+func (si *StabbingIndex) Kind() string { return si.ix.Kind() }
 
 // Pages reports the storage footprint in pages.
 func (si *StabbingIndex) Pages() int { return si.ix.Pages() }
@@ -159,36 +154,34 @@ func NewSegmentIndex(ivs []Interval, cached bool, opts *Options) (*SegmentIndex,
 	if err := c.be.SaveMeta(kindSegment, idx.Meta().Encode()); err != nil {
 		return nil, err
 	}
+	c.recordBuild(engine.KindName(kindSegment), idx.Len())
 	return &SegmentIndex{core: c, idx: idx}, nil
 }
 
 // Stab reports every interval containing q.
 func (ix *SegmentIndex) Stab(q int64) ([]Interval, error) {
-	ivs, _, err := ix.idx.Stab(q)
-	if err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return fromRecIntervals(ivs), nil
+	ivs, _, err := ix.StabProfile(q)
+	return ivs, err
 }
 
 // StabProfile is Stab plus the query's I/O profile, including the exact
 // page transfers attributed to this one query by an op-scoped counter.
 func (ix *SegmentIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
-	var ctr disk.Counter
-	ivs, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Stab(q)
+	ctr, finish := ix.startOp(engine.KindName(kindSegment), "stab")
+	ivs, st, err := ix.idx.WithPager(ix.be.OpPager(ctr)).Stab(q)
 	if err != nil {
+		ix.abortOp(finish)
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
-	cs := ctr.Stats()
-	return fromRecIntervals(ivs), IOProfile{
-		PathPages:   st.PathPages,
-		ListPages:   st.ListPages,
-		UsefulIOs:   st.UsefulIOs,
-		WastefulIOs: st.WastefulIOs,
-		Results:     st.Results,
-		Reads:       cs.Reads,
-		Writes:      cs.Writes,
-	}, nil
+	prof, err := finish(len(ivs), ix.idx.Len(), boundFor(kindSegment))
+	prof.PathPages = st.PathPages
+	prof.ListPages = st.ListPages
+	prof.UsefulIOs = st.UsefulIOs
+	prof.WastefulIOs = st.WastefulIOs
+	if err != nil {
+		return nil, prof, err
+	}
+	return fromRecIntervals(ivs), prof, nil
 }
 
 // Len reports the number of indexed intervals.
@@ -225,36 +218,34 @@ func NewIntervalIndex(ivs []Interval, cached bool, opts *Options) (*IntervalInde
 	if err := c.be.SaveMeta(kindInterval, idx.Meta().Encode()); err != nil {
 		return nil, err
 	}
+	c.recordBuild(engine.KindName(kindInterval), idx.Len())
 	return &IntervalIndex{core: c, idx: idx}, nil
 }
 
 // Stab reports every interval containing q.
 func (ix *IntervalIndex) Stab(q int64) ([]Interval, error) {
-	ivs, _, err := ix.idx.Stab(q)
-	if err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return fromRecIntervals(ivs), nil
+	ivs, _, err := ix.StabProfile(q)
+	return ivs, err
 }
 
 // StabProfile is Stab plus the query's I/O profile, including the exact
 // page transfers attributed to this one query by an op-scoped counter.
 func (ix *IntervalIndex) StabProfile(q int64) ([]Interval, IOProfile, error) {
-	var ctr disk.Counter
-	ivs, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Stab(q)
+	ctr, finish := ix.startOp(engine.KindName(kindInterval), "stab")
+	ivs, st, err := ix.idx.WithPager(ix.be.OpPager(ctr)).Stab(q)
 	if err != nil {
+		ix.abortOp(finish)
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
-	cs := ctr.Stats()
-	return fromRecIntervals(ivs), IOProfile{
-		PathPages:   st.PathPages,
-		ListPages:   st.ListPages,
-		UsefulIOs:   st.UsefulIOs,
-		WastefulIOs: st.WastefulIOs,
-		Results:     st.Results,
-		Reads:       cs.Reads,
-		Writes:      cs.Writes,
-	}, nil
+	prof, err := finish(len(ivs), ix.idx.Len(), boundFor(kindInterval))
+	prof.PathPages = st.PathPages
+	prof.ListPages = st.ListPages
+	prof.UsefulIOs = st.UsefulIOs
+	prof.WastefulIOs = st.WastefulIOs
+	if err != nil {
+		return nil, prof, err
+	}
+	return fromRecIntervals(ivs), prof, nil
 }
 
 // Len reports the number of indexed intervals.

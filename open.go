@@ -20,6 +20,10 @@ type Index interface {
 	Pages() int
 	// Stats reports the cumulative I/O counters of the underlying store.
 	Stats() Stats
+	// Metrics snapshots the per-operation metric series recorded against
+	// the index's store: read/write/cache-hit histograms and theorem-bound
+	// ratios per (operation, worker).
+	Metrics() Metrics
 	// ResetStats zeroes the I/O counters.
 	ResetStats()
 	// Close flushes and closes the index.

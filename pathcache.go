@@ -70,6 +70,23 @@ type Options struct {
 	// them with the matching Open function. Call Close when done.
 	Path string
 
+	// Tracer, when set, receives OpStart/OpEnd events for every recorded
+	// operation (serial queries and stabs, each batch worker's queries,
+	// builds). See also WithTracer.
+	Tracer Tracer
+
+	// StrictBounds arms the theorem-bound sentinels: any query-class
+	// operation whose measured page reads exceed
+	// BoundMaxRatio·bound + BoundSlack — where bound is the index kind's
+	// registered theorem formula evaluated at the op's (n, B, t) — fails
+	// with a *BoundError wrapping ErrBoundExceeded that carries the op's
+	// trace. Meant for tests and benchmarks; leave off in production use.
+	StrictBounds bool
+	// BoundMaxRatio and BoundSlack tune the sentinel threshold;
+	// non-positive values select the defaults (4 and 8).
+	BoundMaxRatio float64
+	BoundSlack    float64
+
 	// testWrapPager, when set, wraps the pager every structure sees —
 	// the in-package test hook for fault injection through the public API.
 	testWrapPager func(disk.Pager) disk.Pager
@@ -79,6 +96,20 @@ type Options struct {
 	// crash-simulation harness uses to drive builds over an injector while
 	// still exercising the whole public build path.
 	testFile disk.File
+}
+
+// WithTracer returns a copy of opts (or a fresh Options when opts is nil)
+// with t installed as the trace hook — the chaining form of setting
+// Options.Tracer:
+//
+//	ix, err := pathcache.NewSegmentIndex(ivs, true, opts.WithTracer(t))
+func (opts *Options) WithTracer(t Tracer) *Options {
+	var out Options
+	if opts != nil {
+		out = *opts
+	}
+	out.Tracer = t
+	return &out
 }
 
 // DefaultPageSize is used when Options.PageSize is zero.
@@ -108,6 +139,14 @@ type IOProfile struct {
 	// zero, so Reads can be below PathPages+ListPages.
 	Reads  int64
 	Writes int64
+	// CacheHits counts the page accesses a buffer pool absorbed for this
+	// operation (always zero without a pool).
+	CacheHits int64
+	// Bound is the kind's theorem I/O bound in page reads evaluated at
+	// this operation's (n, B, t), and BoundRatio is Reads/Bound — the
+	// number the sentinels police. See DESIGN.md §10.
+	Bound      float64
+	BoundRatio float64
 }
 
 // core is the storage half embedded in every index type: the engine
@@ -127,6 +166,12 @@ func newCore(opts *Options) (core, error) {
 			Path:            opts.Path,
 			File:            opts.testFile,
 			WrapPager:       opts.testWrapPager,
+			StrictBounds:    opts.StrictBounds,
+			BoundMaxRatio:   opts.BoundMaxRatio,
+			BoundSlack:      opts.BoundSlack,
+		}
+		if opts.Tracer != nil {
+			cfg.Tracer = tracerAdapter{t: opts.Tracer}
 		}
 	}
 	be, err := engine.New(cfg)

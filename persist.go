@@ -9,6 +9,7 @@ import (
 	"pathcache/internal/extpst"
 	"pathcache/internal/extseg"
 	"pathcache/internal/extwindow"
+	"pathcache/internal/obs"
 )
 
 // ErrNoIndex reports a store file whose metadata head is unset: the file is
@@ -32,16 +33,25 @@ const (
 	kindWindow    = 6
 )
 
-// The registry maps every persisted kind byte to its name and opener; Open
-// and the typed OpenXxxIndex functions dispatch through it, and verify
-// reports use its names.
+// The registry maps every persisted kind byte to its name, opener and
+// theorem I/O bound; Open and the typed OpenXxxIndex functions dispatch
+// through it, verify reports use its names, and the observability layer's
+// bound sentinels evaluate its bound functions per operation.
+//
+// The bounds are the paper's query theorems: the five path-cached
+// structures answer in O(log_B n + t/B) page reads (2-sided Theorem 3.2,
+// 3-sided Theorem 3.3, segment tree Theorem 3.4, interval tree Theorem
+// 3.5, stabbing via the diagonal-corner reduction onto 2-sided), and the
+// window extension's range tree answers in O(log₂(n/B) + t/B). See
+// DESIGN.md §10 for the sentinel constants that turn these asymptotic
+// statements into runtime checks.
 func init() {
-	engine.Register(engine.Descriptor{Kind: kindTwoSided, Name: "twosided", Open: openTwoSided})
-	engine.Register(engine.Descriptor{Kind: kindThreeSide, Name: "threeside", Open: openThreeSided})
-	engine.Register(engine.Descriptor{Kind: kindSegment, Name: "segment", Open: openSegment})
-	engine.Register(engine.Descriptor{Kind: kindInterval, Name: "interval", Open: openInterval})
-	engine.Register(engine.Descriptor{Kind: kindStabbing, Name: "stabbing", Open: openStabbing})
-	engine.Register(engine.Descriptor{Kind: kindWindow, Name: "window", Open: openWindow})
+	engine.Register(engine.Descriptor{Kind: kindTwoSided, Name: "twosided", Open: openTwoSided, Bound: obs.LogBBound})
+	engine.Register(engine.Descriptor{Kind: kindThreeSide, Name: "threeside", Open: openThreeSided, Bound: obs.LogBBound})
+	engine.Register(engine.Descriptor{Kind: kindSegment, Name: "segment", Open: openSegment, Bound: obs.LogBBound})
+	engine.Register(engine.Descriptor{Kind: kindInterval, Name: "interval", Open: openInterval, Bound: obs.LogBBound})
+	engine.Register(engine.Descriptor{Kind: kindStabbing, Name: "stabbing", Open: openStabbing, Bound: obs.LogBBound})
+	engine.Register(engine.Descriptor{Kind: kindWindow, Name: "window", Open: openWindow, Bound: obs.RangeTreeBound})
 }
 
 func openTwoSided(be *engine.Backend, blob []byte) (any, error) {
@@ -62,7 +72,7 @@ func openTwoSided(be *engine.Backend, blob []byte) (any, error) {
 	default:
 		scheme = SchemeSegmented
 	}
-	return &TwoSidedIndex{core: core{be: be}, idx: tr, scheme: scheme}, nil
+	return &TwoSidedIndex{core: core{be: be}, idx: tr, scheme: scheme, kind: kindTwoSided}, nil
 }
 
 func openThreeSided(be *engine.Backend, blob []byte) (any, error) {
@@ -107,6 +117,9 @@ func openStabbing(be *engine.Backend, blob []byte) (any, error) {
 		return nil, err
 	}
 	two := ix.(*TwoSidedIndex)
+	// The reopened 2-sided engine records its ops under the stabbing kind,
+	// matching how NewStabbingIndex builds it.
+	two.kind = kindStabbing
 	return &StabbingIndex{core: two.core, ix: two}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pathcache/internal/btree"
+	"pathcache/internal/obs"
 )
 
 // RangeIndex is an external B+-tree over (key, value) pairs — the paper's
@@ -44,14 +45,24 @@ func (ix *RangeIndex) Delete(key int64, val uint64) error {
 	return nil
 }
 
-// Search returns every value stored under key.
+// Search returns every value stored under key. Each search is recorded as
+// one "search" op against the B+-tree's O(log_B n + t/B) bound.
 func (ix *RangeIndex) Search(key int64) ([]uint64, error) {
-	vals, err := ix.idx.Search(key)
+	ctr, finish := ix.startOp(rangeKindName, "search")
+	vals, err := ix.idx.WithPager(ix.be.OpPager(ctr)).Search(key)
 	if err != nil {
+		ix.abortOp(finish)
 		return nil, fmt.Errorf("pathcache: %w", err)
+	}
+	if _, err := finish(len(vals), ix.idx.Len(), obs.LogBBound); err != nil {
+		return nil, err
 	}
 	return vals, nil
 }
+
+// rangeKindName tags the B+-tree's metric series. RangeIndex is not a
+// persisted registry kind, so the name lives here instead of the registry.
+const rangeKindName = "range"
 
 // Range visits every (key, value) with lo <= key <= hi in ascending order;
 // fn returns false to stop early.

@@ -3,7 +3,6 @@ package pathcache
 import (
 	"fmt"
 
-	"pathcache/internal/disk"
 	"pathcache/internal/engine"
 	"pathcache/internal/ext3side"
 )
@@ -31,36 +30,34 @@ func NewThreeSidedIndex(pts []Point, opts *Options) (*ThreeSidedIndex, error) {
 	if err := c.be.SaveMeta(kindThreeSide, idx.Meta().Encode()); err != nil {
 		return nil, err
 	}
+	c.recordBuild(engine.KindName(kindThreeSide), idx.Len())
 	return &ThreeSidedIndex{core: c, idx: idx}, nil
 }
 
 // Query reports every point with a1 <= X <= a2 and Y >= b.
 func (ix *ThreeSidedIndex) Query(a1, a2, b int64) ([]Point, error) {
-	pts, _, err := ix.idx.Query(a1, a2, b)
-	if err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return fromRecPoints(pts), nil
+	pts, _, err := ix.QueryProfile(a1, a2, b)
+	return pts, err
 }
 
 // QueryProfile is Query plus the query's I/O profile, including the exact
 // page transfers attributed to this one query by an op-scoped counter.
 func (ix *ThreeSidedIndex) QueryProfile(a1, a2, b int64) ([]Point, IOProfile, error) {
-	var ctr disk.Counter
-	pts, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Query(a1, a2, b)
+	ctr, finish := ix.startOp(engine.KindName(kindThreeSide), "query")
+	pts, st, err := ix.idx.WithPager(ix.be.OpPager(ctr)).Query(a1, a2, b)
 	if err != nil {
+		ix.abortOp(finish)
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
-	cs := ctr.Stats()
-	return fromRecPoints(pts), IOProfile{
-		PathPages:   st.PathPages,
-		ListPages:   st.ListPages,
-		UsefulIOs:   st.UsefulIOs,
-		WastefulIOs: st.WastefulIOs,
-		Results:     st.Results,
-		Reads:       cs.Reads,
-		Writes:      cs.Writes,
-	}, nil
+	prof, err := finish(len(pts), ix.idx.Len(), boundFor(kindThreeSide))
+	prof.PathPages = st.PathPages
+	prof.ListPages = st.ListPages
+	prof.UsefulIOs = st.UsefulIOs
+	prof.WastefulIOs = st.WastefulIOs
+	if err != nil {
+		return nil, prof, err
+	}
+	return fromRecPoints(pts), prof, nil
 }
 
 // Len reports the number of indexed points.

@@ -3,7 +3,6 @@ package pathcache
 import (
 	"fmt"
 
-	"pathcache/internal/disk"
 	"pathcache/internal/engine"
 	"pathcache/internal/extpst"
 )
@@ -53,6 +52,11 @@ type TwoSidedIndex struct {
 	core
 	idx    extpst.PointIndex
 	scheme Scheme
+	// kind is the registry kind the index was built or opened as:
+	// kindTwoSided normally, kindStabbing when the index is the 2-sided
+	// engine behind a StabbingIndex — operations are then recorded under
+	// the stabbing kind's series and bound.
+	kind byte
 }
 
 // NewTwoSidedIndex builds a static 2-sided index over pts with the given
@@ -98,36 +102,43 @@ func newTwoSidedIndex(pts []Point, scheme Scheme, opts *Options, kind byte) (*Tw
 			return nil, err
 		}
 	}
-	return &TwoSidedIndex{core: c, idx: idx, scheme: scheme}, nil
+	c.recordBuild(engine.KindName(kind), idx.Len())
+	return &TwoSidedIndex{core: c, idx: idx, scheme: scheme, kind: kind}, nil
 }
 
 // Query reports every point with X >= a and Y >= b.
 func (ix *TwoSidedIndex) Query(a, b int64) ([]Point, error) {
-	pts, _, err := ix.idx.Query(a, b)
-	if err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return fromRecPoints(pts), nil
+	pts, _, err := ix.queryAs("query", a, b)
+	return pts, err
 }
 
 // QueryProfile is Query plus the query's I/O profile, including the exact
 // page transfers attributed to this one query by an op-scoped counter.
 func (ix *TwoSidedIndex) QueryProfile(a, b int64) ([]Point, IOProfile, error) {
-	var ctr disk.Counter
-	pts, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Query(a, b)
+	return ix.queryAs("query", a, b)
+}
+
+// queryAs runs one recorded 2-sided query under the given operation name.
+// It is shared by Query/QueryProfile and by the stabbing reduction, which
+// records exactly one "stab" op under its own kind instead of an inner
+// "query" — double-recording would break the invariant that per-op
+// histogram sums equal the store-level Stats diff.
+func (ix *TwoSidedIndex) queryAs(opName string, a, b int64) ([]Point, IOProfile, error) {
+	ctr, finish := ix.startOp(engine.KindName(ix.kind), opName)
+	pts, st, err := ix.idx.WithPager(ix.be.OpPager(ctr)).Query(a, b)
 	if err != nil {
+		ix.abortOp(finish)
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
-	cs := ctr.Stats()
-	return fromRecPoints(pts), IOProfile{
-		PathPages:   st.PathPages,
-		ListPages:   st.ListPages,
-		UsefulIOs:   st.UsefulIOs,
-		WastefulIOs: st.WastefulIOs,
-		Results:     st.Results,
-		Reads:       cs.Reads,
-		Writes:      cs.Writes,
-	}, nil
+	prof, err := finish(len(pts), ix.idx.Len(), boundFor(ix.kind))
+	prof.PathPages = st.PathPages
+	prof.ListPages = st.ListPages
+	prof.UsefulIOs = st.UsefulIOs
+	prof.WastefulIOs = st.WastefulIOs
+	if err != nil {
+		return nil, prof, err
+	}
+	return fromRecPoints(pts), prof, nil
 }
 
 // Len reports the number of indexed points.
@@ -137,7 +148,7 @@ func (ix *TwoSidedIndex) Len() int { return ix.idx.Len() }
 func (ix *TwoSidedIndex) Scheme() Scheme { return ix.scheme }
 
 // Kind reports the index's registry name.
-func (ix *TwoSidedIndex) Kind() string { return engine.KindName(kindTwoSided) }
+func (ix *TwoSidedIndex) Kind() string { return engine.KindName(ix.kind) }
 
 // Pages reports the storage footprint in pages.
 func (ix *TwoSidedIndex) Pages() int { return ix.idx.TotalPages() }

@@ -3,7 +3,6 @@ package pathcache
 import (
 	"fmt"
 
-	"pathcache/internal/disk"
 	"pathcache/internal/engine"
 	"pathcache/internal/extwindow"
 )
@@ -34,36 +33,34 @@ func NewWindowIndex(pts []Point, opts *Options) (*WindowIndex, error) {
 	if err := c.be.SaveMeta(kindWindow, idx.Meta().Encode()); err != nil {
 		return nil, err
 	}
+	c.recordBuild(engine.KindName(kindWindow), idx.Len())
 	return &WindowIndex{core: c, idx: idx}, nil
 }
 
 // Query reports every point with x1 <= X <= x2 and y1 <= Y <= y2.
 func (ix *WindowIndex) Query(x1, x2, y1, y2 int64) ([]Point, error) {
-	pts, _, err := ix.idx.Query(x1, x2, y1, y2)
-	if err != nil {
-		return nil, fmt.Errorf("pathcache: %w", err)
-	}
-	return fromRecPoints(pts), nil
+	pts, _, err := ix.QueryProfile(x1, x2, y1, y2)
+	return pts, err
 }
 
 // QueryProfile is Query plus the query's I/O profile, including the exact
 // page transfers attributed to this one query by an op-scoped counter.
 func (ix *WindowIndex) QueryProfile(x1, x2, y1, y2 int64) ([]Point, IOProfile, error) {
-	var ctr disk.Counter
-	pts, st, err := ix.idx.WithPager(ix.be.OpPager(&ctr)).Query(x1, x2, y1, y2)
+	ctr, finish := ix.startOp(engine.KindName(kindWindow), "query")
+	pts, st, err := ix.idx.WithPager(ix.be.OpPager(ctr)).Query(x1, x2, y1, y2)
 	if err != nil {
+		ix.abortOp(finish)
 		return nil, IOProfile{}, fmt.Errorf("pathcache: %w", err)
 	}
-	cs := ctr.Stats()
-	return fromRecPoints(pts), IOProfile{
-		PathPages:   st.PathPages,
-		ListPages:   st.ListPages,
-		UsefulIOs:   st.UsefulIOs,
-		WastefulIOs: st.WastefulIOs,
-		Results:     st.Results,
-		Reads:       cs.Reads,
-		Writes:      cs.Writes,
-	}, nil
+	prof, err := finish(len(pts), ix.idx.Len(), boundFor(kindWindow))
+	prof.PathPages = st.PathPages
+	prof.ListPages = st.ListPages
+	prof.UsefulIOs = st.UsefulIOs
+	prof.WastefulIOs = st.WastefulIOs
+	if err != nil {
+		return nil, prof, err
+	}
+	return fromRecPoints(pts), prof, nil
 }
 
 // Len reports the number of indexed points.
