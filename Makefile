@@ -48,6 +48,7 @@ fuzz-smoke:
 crash:
 	$(GO) test ./internal/disk -run='TestCrashSweepStoreLevel|TestCrashFile|TestFileStore' -v
 	$(GO) test . -run='TestCrashSweepIndexes' -v
+	$(GO) test . -run='TestCrashSweepLSM' -v
 
 # Regenerate cmd/pcindex's golden CLI transcript after an intentional
 # output change; review the diff before committing.

@@ -158,6 +158,65 @@ var boundKinds = []boundKind{
 		}
 		return nil
 	}},
+	// The dynamic write tier: the sentinels must hold not on a frozen
+	// structure but across the whole lifecycle — every query runs against
+	// whatever level shape the preceding updates left behind, including
+	// mid-battery flush cascades and a forced full compaction. The memtable
+	// threshold is drawn per run so the battery sees different level counts
+	// (small thresholds → many levels, the worst case of the dynamization
+	// tax the declared bound must still cover).
+	{"lsm", func(n, page int, seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		opts := strictProp(page, rng)
+		opts.MemtableEntries = []int{16, 64, 256, 1024}[rng.Intn(4)]
+		live := uniformPoints(n, propDomain, seed)
+		ix, err := BuildDynamic("twosided", live, opts)
+		if err != nil {
+			return err
+		}
+		defer ix.Close()
+		nextID := uint64(n + 1)
+		for i := 0; i < propQueries; i++ {
+			if _, _, err := ix.Query(rng.Int63n(propDomain), rng.Int63n(propDomain)); err != nil {
+				return err
+			}
+			// An update burst between queries: enough inserts to cross
+			// flush thresholds at the small settings, plus a delete so
+			// tombstone pages enter the bound.
+			for j := 0; j < 8; j++ {
+				p := Point{X: rng.Int63n(propDomain), Y: rng.Int63n(propDomain), ID: nextID}
+				nextID++
+				if _, err := ix.Insert(p); err != nil {
+					return err
+				}
+				live = append(live, p)
+			}
+			if len(live) > 0 && i%3 == 2 {
+				k := rng.Intn(len(live))
+				if _, err := ix.Delete(live[k]); err != nil {
+					return err
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if _, _, err := ix.Has(live[rng.Intn(len(live))]); err != nil {
+				return err
+			}
+			// Halfway through, rebuild everything into one level: the
+			// queries after it run against the post-compaction shape.
+			if i == propQueries/2 {
+				if err := ix.Compact(); err != nil {
+					return err
+				}
+			}
+		}
+		qs := make([]TwoSidedQuery, 8)
+		for i := range qs {
+			qs[i] = TwoSidedQuery{A: rng.Int63n(propDomain), B: rng.Int63n(propDomain)}
+		}
+		_, _, err = ix.QueryBatch(qs, 4)
+		return err
+	}},
 }
 
 // propStabBattery runs the shared stabbing workload: serial stabs then a small

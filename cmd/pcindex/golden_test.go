@@ -59,14 +59,23 @@ func TestGoldenOutput(t *testing.T) {
 		{"build", "-type", "window", "-in", ptsCSV, "-out", filepath.Join(dir, "win.pc"), "-page", "512"},
 		{"info", "-in", filepath.Join(dir, "win.pc")},
 		{"query", "-in", filepath.Join(dir, "win.pc"), "-q", "20 70 30 80"},
+		{"build", "-type", "lsm", "-base", "twosided", "-memtable", "8", "-in", ptsCSV, "-out", filepath.Join(dir, "dyn.pc"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "dyn.pc")},
+		{"query", "-in", filepath.Join(dir, "dyn.pc"), "-q", "30 30"},
+		{"build", "-type", "lsm", "-base", "stabbing", "-memtable", "8", "-in", ivsCSV, "-out", filepath.Join(dir, "dynstab.pc"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "dynstab.pc")},
+		{"query", "-in", filepath.Join(dir, "dynstab.pc"), "-q", "33"},
 		{"verify", "-in", filepath.Join(dir, "two.pc")},
 		{"verify", "-in", filepath.Join(dir, "seg.pc")},
+		{"verify", "-in", filepath.Join(dir, "dyn.pc")},
 		{"stats", "-in", filepath.Join(dir, "two.pc")},
 		{"stats", "-in", filepath.Join(dir, "three.pc")},
 		{"stats", "-in", filepath.Join(dir, "stab.pc")},
 		{"stats", "-in", filepath.Join(dir, "seg.pc")},
 		{"stats", "-in", filepath.Join(dir, "itv.pc")},
 		{"stats", "-in", filepath.Join(dir, "win.pc")},
+		{"stats", "-in", filepath.Join(dir, "dyn.pc")},
+		{"stats", "-in", filepath.Join(dir, "dynstab.pc")},
 	}
 
 	var b strings.Builder

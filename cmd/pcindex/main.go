@@ -9,6 +9,12 @@
 //	pcindex build -type segment   -in intervals.csv -out seg.pc
 //	pcindex build -type interval  -in intervals.csv -out itv.pc
 //
+// Build a dynamic (LSM write tier) index over any base kind — interval
+// bases take interval CSV, point bases take point CSV:
+//
+//	pcindex build -type lsm -base twosided -memtable 8 -in points.csv    -out dyn.pc
+//	pcindex build -type lsm -base stabbing -memtable 8 -in intervals.csv -out dynstab.pc
+//
 // Query it (reopens without rebuilding):
 //
 //	pcindex query -in pts.pc  -q "100 200"        # x >= 100, y >= 200
@@ -90,6 +96,7 @@ type opened struct {
 	seg   *pathcache.SegmentIndex
 	itv   *pathcache.IntervalIndex
 	win   *pathcache.WindowIndex
+	lsm   *pathcache.LSMIndex
 }
 
 func openAny(path string) (*opened, error) {
@@ -111,6 +118,8 @@ func openAny(path string) (*opened, error) {
 		o.itv = v
 	case *pathcache.WindowIndex:
 		o.win = v
+	case *pathcache.LSMIndex:
+		o.lsm = v
 	default:
 		ix.Close()
 		return nil, fmt.Errorf("%s: unsupported index kind %q", path, ix.Kind())
@@ -124,8 +133,10 @@ func (o *opened) close() {
 
 func runBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	typ := fs.String("type", "twosided", "twosided|threeside|stabbing|segment|interval|window")
+	typ := fs.String("type", "twosided", "twosided|threeside|stabbing|segment|interval|window|lsm")
 	scheme := fs.String("scheme", "segmented", "iko|basic|segmented (flat 2-sided schemes persist)")
+	base := fs.String("base", "twosided", "lsm only: base kind the sealed levels are built with")
+	memtable := fs.Int("memtable", 0, "lsm only: updates per memtable flush (0 = default)")
 	in := fs.String("in", "", "input CSV (points: x,y,id — intervals: lo,hi,id)")
 	out := fs.String("out", "", "output index file")
 	page := fs.Int("page", pathcache.DefaultPageSize, "page size in bytes")
@@ -149,6 +160,36 @@ func runBuild(args []string) error {
 	}
 
 	switch *typ {
+	case "lsm":
+		// The dynamic write tier: records are seeded through the WAL and
+		// sealed into one static level of the chosen base kind. Interval
+		// bases take interval CSV and store the diagonal-corner encoding.
+		var pts []pathcache.Point
+		switch *base {
+		case "stabbing", "segment", "interval":
+			ivs, err := readIntervals(*in)
+			if err != nil {
+				return err
+			}
+			pts = make([]pathcache.Point, len(ivs))
+			for i, iv := range ivs {
+				pts[i] = pathcache.IntervalToDynamicPoint(iv)
+			}
+		default:
+			var err error
+			pts, err = readPoints(*in)
+			if err != nil {
+				return err
+			}
+		}
+		opts.MemtableEntries = *memtable
+		ix, err := pathcache.BuildDynamic(*base, pts, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built %s: %d records, %d pages (lsm over %s, %d levels)\n",
+			*out, ix.Len(), ix.Pages(), ix.Base(), len(ix.Levels()))
+		return ix.Close()
 	case "window":
 		pts, err := readPoints(*in)
 		if err != nil {
@@ -311,6 +352,25 @@ func runQuery(args []string) error {
 			return err
 		}
 		printPts(res, prof.Reads)
+	case "lsm":
+		// The write tier answers the base kind's shape: 'a b' runs the
+		// 2-sided query of a point base, 'q' the stab of an interval base.
+		switch len(nums) {
+		case 2:
+			res, prof, err := o.lsm.Query(nums[0], nums[1])
+			if err != nil {
+				return err
+			}
+			printPts(res, prof.Reads)
+		case 1:
+			res, prof, err := o.lsm.Stab(nums[0])
+			if err != nil {
+				return err
+			}
+			printIvs(res, prof.Reads)
+		default:
+			return fmt.Errorf("lsm query needs 'a b' (2-sided) or 'q' (stabbing)")
+		}
 	}
 	return nil
 }
@@ -330,13 +390,25 @@ func runInfo(args []string) error {
 	}
 	defer o.close()
 	// The registry kind name is the stable identifier; the 2-sided kind
-	// additionally reports which flat scheme the file persists.
-	if o.kind == "twosided" {
+	// additionally reports which flat scheme the file persists, and the
+	// write tier reports its manifest: base kind, memtable and tombstone
+	// backlog, and one line per sealed level.
+	switch o.kind {
+	case "twosided":
 		fmt.Printf("kind: %s (%s scheme)\n", o.kind, o.two.Scheme())
-	} else {
+	case "lsm":
+		fmt.Printf("kind: %s (over %s)\n", o.kind, o.lsm.Base())
+	default:
 		fmt.Printf("kind: %s\n", o.kind)
 	}
 	fmt.Printf("records: %d\npages: %d\n", o.ix.Len(), o.ix.Pages())
+	if o.kind == "lsm" {
+		fmt.Printf("memtable: %d entries\ntombstones: %d\n", o.lsm.MemtableLen(), o.lsm.TombCount())
+		for _, lv := range o.lsm.Levels() {
+			fmt.Printf("level %d: %d records (%d tree + %d data + %d bloom pages)\n",
+				lv.Slot, lv.Records, lv.TreePages, lv.DataPages, lv.BloomPages)
+		}
+	}
 	return nil
 }
 
@@ -400,6 +472,17 @@ func probe(o *opened) (int, error) {
 	case "interval":
 		ivs, err := o.itv.Stab(0)
 		return len(ivs), err
+	case "lsm":
+		// The probe shape follows the base kind: stab for interval bases,
+		// the full-range 2-sided query for point bases.
+		switch o.lsm.Base() {
+		case "stabbing", "segment", "interval":
+			ivs, _, err := o.lsm.Stab(0)
+			return len(ivs), err
+		default:
+			pts, _, err := o.lsm.Query(lo, lo)
+			return len(pts), err
+		}
 	default: // window; openAny rejects anything else
 		pts, err := o.win.Query(lo, hi, lo, hi)
 		return len(pts), err

@@ -33,6 +33,7 @@ var indexPackages = []string{
 	"internal/btree",
 	"internal/skeletal",
 	"internal/logmethod",
+	"internal/lsm",
 	"internal/dynpst",
 	"internal/dyn3side",
 	"internal/pstcore",

@@ -12,6 +12,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -21,6 +22,7 @@ import (
 	"pathcache/internal/extpst"
 	"pathcache/internal/extseg"
 	"pathcache/internal/extwindow"
+	"pathcache/internal/lsm"
 	"pathcache/internal/obs"
 	"pathcache/internal/record"
 	"pathcache/internal/workload"
@@ -341,12 +343,125 @@ func windowReport(cfg Config) (Report, error) {
 	return rep, nil
 }
 
+// lsmReport measures the dynamic write tier under a mixed read/write
+// workload: seed n points into an LSM tree over the 2-sided base, churn it
+// with a 70/30 insert/delete phase (flushing and compacting exactly as the
+// public layer's thresholds would), then run the query battery against the
+// level shape the churn left behind. Two measurements per n:
+//
+//   - "lsm/update": average page transfers (reads + writes) per update
+//     across the churn phase, beside an amortized estimate — one durable
+//     WAL tail rewrite (≈2 pages), the per-flush manifest flip and
+//     tombstone rewrite (≈6 pages / F updates), and the geometric cascade
+//     that rewrites each record through O(log₂(n/F)) level seals at ≈8/B
+//     pages per record (data chain + tree + bloom).
+//   - "lsm/twosided": per-query page reads against the dynamization bound
+//     evaluated at the tree's actual level count and tombstone footprint
+//     (obs.LSMBoundAt) — the same formula the StrictBounds sentinels
+//     enforce at runtime.
+func lsmReport(cfg Config) (Report, error) {
+	rep := Report{Name: "lsm", PageSize: cfg.pageSize(), Seed: cfg.seed(), Small: cfg.Small}
+	b := disk.ChainCap(cfg.pageSize(), record.PointSize)
+	flushEvery := 256
+	base, err := lsm.BaseFor(lsm.BaseTwoSided)
+	if err != nil {
+		return rep, fmt.Errorf("lsm base: %w", err)
+	}
+	for _, n := range cfg.jsonPointNs() {
+		s := disk.MustStore(cfg.pageSize())
+		tr, err := lsm.New(lsm.Config{Pager: s, Base: base, FlushEvery: flushEvery})
+		if err != nil {
+			return rep, fmt.Errorf("lsm new n=%d: %w", n, err)
+		}
+		maintain := func() error {
+			if tr.NeedsFlush() {
+				if _, err := tr.Flush(s); err != nil {
+					return fmt.Errorf("lsm flush: %w", err)
+				}
+			}
+			if tr.NeedsCompact() {
+				if _, err := tr.Compact(s); err != nil {
+					return fmt.Errorf("lsm compact: %w", err)
+				}
+			}
+			return nil
+		}
+		live := workload.UniformPoints(n, 1<<30, cfg.seed())
+		for _, p := range live {
+			if err := tr.Insert(s, p); err != nil {
+				return rep, fmt.Errorf("lsm seed n=%d: %w", n, err)
+			}
+			if err := maintain(); err != nil {
+				return rep, err
+			}
+		}
+
+		// Churn phase: measured as total transfers per update so the
+		// amortized flush and compaction costs land where they belong.
+		rng := rand.New(rand.NewSource(cfg.seed() + 5))
+		updates := n / 4
+		nextID := uint64(n + 1)
+		s.ResetStats()
+		for i := 0; i < updates; i++ {
+			if rng.Intn(10) < 7 || len(live) == 0 {
+				p := record.Point{X: rng.Int63n(1 << 30), Y: rng.Int63n(1 << 30), ID: nextID}
+				nextID++
+				if err := tr.Insert(s, p); err != nil {
+					return rep, fmt.Errorf("lsm insert n=%d: %w", n, err)
+				}
+				live = append(live, p)
+			} else {
+				k := rng.Intn(len(live))
+				if err := tr.Delete(s, live[k]); err != nil {
+					return rep, fmt.Errorf("lsm delete n=%d: %w", n, err)
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if err := maintain(); err != nil {
+				return rep, err
+			}
+		}
+		st := s.Stats()
+		updBound := 2 + 6/float64(flushEvery) +
+			8*float64(log2((tr.Len()+flushEvery-1)/flushEvery))/float64(b)
+		rep.Measurements = append(rep.Measurements, Measurement{
+			Structure: "lsm/update",
+			N:         n,
+			B:         b,
+			Queries:   updates, // battery size: updates, not queries
+			AvgReads:  float64(st.Reads+st.Writes) / float64(updates),
+			Bound:     updBound,
+			Ratio:     ratio(float64(st.Reads+st.Writes)/float64(updates), updBound),
+			Pages:     s.NumPages(),
+		})
+
+		// Query battery over the churned tree: every level answers, plus
+		// the tombstone chain — the dynamization tax the bound declares.
+		qs := workload.TwoSidedQueries(cfg.queries(), 1<<30, 0.01, cfg.seed()+1)
+		search := obs.LSMBoundAt(tr.Levels(), tr.TombPages(), tr.Len(), b, 0)
+		var samp querySampler
+		for _, q := range qs {
+			s.ResetStats()
+			out, err := tr.Query(s, q.A, q.B)
+			if err != nil {
+				return rep, fmt.Errorf("lsm query n=%d: %w", n, err)
+			}
+			samp.observe(s.Stats().Reads, len(out),
+				obs.LSMBoundAt(tr.Levels(), tr.TombPages(), tr.Len(), b, len(out)))
+		}
+		rep.Measurements = append(rep.Measurements,
+			samp.measurement("lsm/twosided", tr.Len(), b, s.NumPages(), search))
+	}
+	return rep, nil
+}
+
 // jsonFamilies is the report suite WriteJSON and JSONReports run — one
 // family per registered index kind, so checkJSONNames in cmd/pcbench can
 // validate BENCH_* names against the engine registry. A package variable
 // so the atomic-write regression test can inject a failing family.
 var jsonFamilies = []func(Config) (Report, error){
-	twoSidedReport, threeSidedReport, segmentReport, intervalReport, stabbingReport, windowReport,
+	twoSidedReport, threeSidedReport, segmentReport, intervalReport, stabbingReport, windowReport, lsmReport,
 }
 
 // JSONReports runs the compact measurement suite and returns one report per

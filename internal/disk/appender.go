@@ -1,0 +1,197 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ChainAppender is an incrementally appendable chain: the write-ahead-log
+// substrate of the LSM tier. It shares the chain page layout
+// ([next][count][records...]), so a chain built by appending replays with
+// ScanChain — the recovery path needs no second format.
+//
+// Unlike ChainWriter, which buffers a page and writes it once when full, an
+// appender rewrites the tail page on every Append so each record is on disk
+// (and, after the caller's sync, durable) before the append is acknowledged.
+// Appending k records therefore costs k page writes, not ⌈k/B⌉ — the price
+// of per-record durability, paid only by the write-ahead log.
+//
+// Crash behaviour, relied on by the recovery state machine (DESIGN.md §11):
+//
+//   - A torn tail rewrite corrupts only the tail page: recovery surfaces a
+//     checksum error wrapping ErrCorrupt for the one unacknowledged record.
+//   - Rolling to a new page writes the new tail first and links the old tail
+//     to it second, so a crash between the two leaves the old chain fully
+//     intact and the new page unreachable (leaked, never misread).
+type ChainAppender struct {
+	recSize int
+	cap     int
+	head    PageID
+	tail    PageID
+	buf     []byte // tail page image, kept in sync with the store
+	n       int    // records in the tail page
+	count   int    // records in the whole chain
+	pages   int
+}
+
+// NewChainAppender starts an empty appendable chain: its head page is
+// allocated and written immediately so the chain has a stable identity to
+// record in a manifest before the first record arrives.
+func NewChainAppender(p Pager, recSize int) (*ChainAppender, error) {
+	c := ChainCap(p.PageSize(), recSize)
+	if recSize <= 0 || c < 1 {
+		return nil, fmt.Errorf("%w: rec=%d page=%d", ErrRecordSize, recSize, p.PageSize())
+	}
+	head, err := p.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	a := &ChainAppender{
+		recSize: recSize,
+		cap:     c,
+		head:    head,
+		tail:    head,
+		buf:     make([]byte, p.PageSize()),
+		pages:   1,
+	}
+	a.setHeader(InvalidPage)
+	if err := p.Write(head, a.buf); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenChainAppender resumes appending to an existing chain: it walks to the
+// tail page and loads it, so the next Append continues where the last run
+// stopped. Corrupt pages surface as read errors wrapping ErrCorrupt.
+func OpenChainAppender(p Pager, recSize int, head PageID) (*ChainAppender, error) {
+	c := ChainCap(p.PageSize(), recSize)
+	if recSize <= 0 || c < 1 {
+		return nil, fmt.Errorf("%w: rec=%d page=%d", ErrRecordSize, recSize, p.PageSize())
+	}
+	if head == InvalidPage {
+		return nil, errors.New("disk: open chain appender on invalid head")
+	}
+	a := &ChainAppender{
+		recSize: recSize,
+		cap:     c,
+		head:    head,
+		buf:     make([]byte, p.PageSize()),
+	}
+	for id := head; id != InvalidPage; {
+		if err := p.Read(id, a.buf); err != nil {
+			return nil, err
+		}
+		a.pages++
+		next := PageID(binary.LittleEndian.Uint64(a.buf[0:8]))
+		n := int(binary.LittleEndian.Uint16(a.buf[8:10]))
+		if n > c {
+			return nil, fmt.Errorf("disk: corrupt chain page %d: count %d > cap %d: %w", id, n, c, ErrCorrupt)
+		}
+		if next != InvalidPage && n != c {
+			return nil, fmt.Errorf("disk: corrupt chain page %d: non-tail holds %d of %d records: %w", id, n, c, ErrCorrupt)
+		}
+		a.tail, a.n = id, n
+		a.count += n
+		id = next
+	}
+	return a, nil
+}
+
+// Append adds one record to the chain and writes it through to the store
+// via p, which must address the same store the appender was opened on (the
+// explicit pager lets callers attribute each append to an op-scoped
+// counter). The record is on disk when Append returns; durability
+// additionally needs the caller's sync barrier (the appender does not own
+// the file handle).
+func (a *ChainAppender) Append(p Pager, rec []byte) error {
+	if len(rec) != a.recSize {
+		return fmt.Errorf("%w: got %d want %d", ErrRecordSize, len(rec), a.recSize)
+	}
+	if a.n == a.cap {
+		next, err := p.Alloc()
+		if err != nil {
+			return err
+		}
+		// New tail first, link second: a crash between the two writes
+		// leaves the acknowledged chain intact and only leaks `next`.
+		nb := make([]byte, len(a.buf))
+		none := InvalidPage
+		binary.LittleEndian.PutUint64(nb[0:8], uint64(none))
+		binary.LittleEndian.PutUint16(nb[8:10], 1)
+		copy(nb[chainHeader:], rec)
+		if err := p.Write(next, nb); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(a.buf[0:8], uint64(next))
+		if err := p.Write(a.tail, a.buf); err != nil {
+			return err
+		}
+		copy(a.buf, nb)
+		a.tail = next
+		a.n = 1
+		a.count++
+		a.pages++
+		return nil
+	}
+	copy(a.buf[chainHeader+a.n*a.recSize:], rec)
+	a.n++
+	a.count++
+	a.setHeader(InvalidPage)
+	return p.Write(a.tail, a.buf)
+}
+
+// Head returns the chain head page (stable for the appender's lifetime).
+func (a *ChainAppender) Head() PageID { return a.head }
+
+// Count returns the number of records appended across the chain's lifetime.
+func (a *ChainAppender) Count() int { return a.count }
+
+// Pages returns the number of pages the chain occupies.
+func (a *ChainAppender) Pages() int { return a.pages }
+
+func (a *ChainAppender) setHeader(next PageID) {
+	binary.LittleEndian.PutUint64(a.buf[0:8], uint64(next))
+	binary.LittleEndian.PutUint16(a.buf[8:10], uint16(a.n))
+}
+
+// TrackPager is a pager decorator recording every page id it allocates —
+// how the LSM tier learns the page set of a freshly built static level so
+// the level can be freed wholesale after a later compaction. Not safe for
+// concurrent use; builds are single-threaded.
+type TrackPager struct {
+	Pager
+	ids []PageID
+}
+
+// Track wraps p so allocations are recorded.
+func Track(p Pager) *TrackPager { return &TrackPager{Pager: p} }
+
+// Alloc allocates through the wrapped pager and records the id.
+func (t *TrackPager) Alloc() (PageID, error) {
+	id, err := t.Pager.Alloc()
+	if err == nil {
+		t.ids = append(t.ids, id)
+	}
+	return id, err
+}
+
+// Free releases through the wrapped pager and forgets the id, so Allocated
+// reports only pages still owned by the tracked build.
+func (t *TrackPager) Free(id PageID) error {
+	if err := t.Pager.Free(id); err != nil {
+		return err
+	}
+	for i, v := range t.ids {
+		if v == id {
+			t.ids = append(t.ids[:i], t.ids[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Allocated returns the live page ids allocated through the tracker, in
+// allocation order.
+func (t *TrackPager) Allocated() []PageID { return t.ids }

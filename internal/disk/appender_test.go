@@ -1,0 +1,147 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestChainAppenderRoundTrip appends across several page rolls, reopens at
+// the tail, appends more, and checks ScanChain replays every record in
+// order — the WAL replay contract.
+func TestChainAppenderRoundTrip(t *testing.T) {
+	s := MustStore(128)
+	const recSize = 16
+	a, err := NewChainAppender(s, recSize)
+	if err != nil {
+		t.Fatalf("NewChainAppender: %v", err)
+	}
+	if a.Head() == InvalidPage {
+		t.Fatal("appender head unset")
+	}
+	head := a.Head()
+
+	rec := func(i int) []byte {
+		b := make([]byte, recSize)
+		b[0] = byte(i)
+		b[1] = byte(i >> 8)
+		return b
+	}
+	const first = 23
+	for i := 0; i < first; i++ {
+		if err := a.Append(s, rec(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if a.Count() != first {
+		t.Fatalf("count = %d, want %d", a.Count(), first)
+	}
+	if a.Head() != head {
+		t.Fatalf("head moved: %d -> %d", head, a.Head())
+	}
+
+	// Resume from disk state alone, as recovery does.
+	b, err := OpenChainAppender(s, recSize, head)
+	if err != nil {
+		t.Fatalf("OpenChainAppender: %v", err)
+	}
+	if b.Count() != first {
+		t.Fatalf("reopened count = %d, want %d", b.Count(), first)
+	}
+	const second = 9
+	for i := first; i < first+second; i++ {
+		if err := b.Append(s, rec(i)); err != nil {
+			t.Fatalf("append after reopen %d: %v", i, err)
+		}
+	}
+
+	var got []int
+	if _, err := ScanChain(s, recSize, head, func(r []byte) bool {
+		got = append(got, int(r[0])|int(r[1])<<8)
+		return true
+	}); err != nil {
+		t.Fatalf("ScanChain: %v", err)
+	}
+	if len(got) != first+second {
+		t.Fatalf("replayed %d records, want %d", len(got), first+second)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("record %d = %d, want %d", i, v, i)
+		}
+	}
+	if want := ChainPages(128, recSize, first+second); b.Pages() != want {
+		t.Fatalf("pages = %d, want %d", b.Pages(), want)
+	}
+}
+
+// TestChainAppenderEmptyReopen reopens a chain that never saw an append.
+func TestChainAppenderEmptyReopen(t *testing.T) {
+	s := MustStore(128)
+	a, err := NewChainAppender(s, 16)
+	if err != nil {
+		t.Fatalf("NewChainAppender: %v", err)
+	}
+	b, err := OpenChainAppender(s, 16, a.Head())
+	if err != nil {
+		t.Fatalf("OpenChainAppender: %v", err)
+	}
+	if b.Count() != 0 || b.Pages() != 1 {
+		t.Fatalf("empty chain reopened as count=%d pages=%d", b.Count(), b.Pages())
+	}
+	if err := b.Append(s, make([]byte, 16)); err != nil {
+		t.Fatalf("append on reopened empty chain: %v", err)
+	}
+}
+
+// TestChainAppenderCorruptInterior rejects a chain whose interior page
+// claims fewer records than its capacity — the shape only a lost update or
+// corruption can produce.
+func TestChainAppenderCorruptInterior(t *testing.T) {
+	s := MustStore(128)
+	a, err := NewChainAppender(s, 16)
+	if err != nil {
+		t.Fatalf("NewChainAppender: %v", err)
+	}
+	cap := ChainCap(128, 16)
+	for i := 0; i < cap+1; i++ { // force a second page
+		if err := a.Append(s, make([]byte, 16)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	// Understate the head page's count while keeping its next link.
+	buf := make([]byte, 128)
+	if err := s.Read(a.Head(), buf); err != nil {
+		t.Fatalf("read head: %v", err)
+	}
+	buf[8], buf[9] = 1, 0
+	if err := s.Write(a.Head(), buf); err != nil {
+		t.Fatalf("rewrite head: %v", err)
+	}
+	if _, err := OpenChainAppender(s, 16, a.Head()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reopen of corrupt chain = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTrackPager records allocations, forgets frees, and passes reads and
+// writes through untouched.
+func TestTrackPager(t *testing.T) {
+	s := MustStore(128)
+	tr := Track(s)
+	a, err := tr.Alloc()
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	b, err := tr.Alloc()
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if got := tr.Allocated(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("Allocated = %v, want [%d %d]", got, a, b)
+	}
+	if err := tr.Free(a); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if got := tr.Allocated(); len(got) != 1 || got[0] != b {
+		t.Fatalf("Allocated after free = %v, want [%d]", got, b)
+	}
+}

@@ -60,6 +60,48 @@ func (be *Backend) SaveMeta(kind byte, blob []byte) error {
 	return nil
 }
 
+// ReplaceMeta is SaveMeta for indexes that commit repeatedly: it flushes
+// any buffer pool so every page the new metadata references is on disk
+// before the commit point, writes the new metadata page, and frees the
+// superseded one. The write tier calls this once per manifest flip; without
+// the free, every flip would leak a page. A crash between SetAppHead and
+// the free only leaks the old metadata page — never corrupts state.
+func (be *Backend) ReplaceMeta(kind byte, blob []byte) error {
+	if be.file == nil {
+		return nil // in-memory index: nothing to persist
+	}
+	if be.pool != nil {
+		if err := be.pool.Flush(); err != nil {
+			return fmt.Errorf("pathcache: flushing pool before metadata commit: %w", err)
+		}
+	}
+	old := be.file.AppHead()
+	if err := be.SaveMeta(kind, blob); err != nil {
+		return err
+	}
+	if old != disk.InvalidPage {
+		if err := be.file.Free(old); err != nil {
+			return fmt.Errorf("pathcache: freeing superseded metadata page: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync is the durability barrier update paths acknowledge writes behind:
+// flush the buffer pool (when one is interposed) and fsync the backing
+// file. In-memory backends treat it as a no-op.
+func (be *Backend) Sync() error {
+	if be.pool != nil {
+		if err := be.pool.Flush(); err != nil {
+			return err
+		}
+	}
+	if be.file == nil {
+		return nil
+	}
+	return be.file.Sync()
+}
+
 // ReadKind loads the metadata page and returns the kind byte and metadata
 // blob without interpreting either — the primitive behind kind-agnostic
 // open.

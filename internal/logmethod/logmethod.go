@@ -103,44 +103,55 @@ func (t *Tree) tombCap() int {
 }
 
 // Delete tombstones a point, rebuilding globally when tombstones pile up.
+// The in-memory state mutates only after the chain rewrite succeeds, so a
+// failed rewrite reports an error with the delete not applied instead of
+// leaving the live count out of sync with the persisted chain.
 func (t *Tree) Delete(p record.Point) error {
 	t.tombs[p] = true
-	t.n--
 	if err := t.rewriteTombs(); err != nil {
+		delete(t.tombs, p)
 		return err
 	}
+	t.n--
 	if len(t.tombs) >= t.tombCap() {
 		return t.compact()
 	}
 	return nil
 }
 
-// rewriteTombs re-persists the tombstone chain.
+// rewriteTombs re-persists the tombstone chain: write the replacement
+// first, free the superseded chain only once the replacement exists (Free
+// destroys page content, so the old order — free, then write — lost the
+// chain whenever the write failed).
 func (t *Tree) rewriteTombs() error {
-	if t.tombHead != disk.InvalidPage {
-		if err := disk.FreeChain(t.pager, t.tombHead); err != nil {
+	head := disk.InvalidPage
+	if len(t.tombs) > 0 {
+		raw := make([]byte, 0, len(t.tombs)*record.PointSize)
+		for p := range t.tombs {
+			var rec [record.PointSize]byte
+			p.Encode(rec[:])
+			raw = append(raw, rec[:]...)
+		}
+		h, _, err := disk.WriteChain(t.pager, record.PointSize, raw)
+		if err != nil {
 			return err
 		}
-		t.tombHead = disk.InvalidPage
+		head = h
 	}
-	if len(t.tombs) == 0 {
-		return nil
-	}
-	raw := make([]byte, 0, len(t.tombs)*record.PointSize)
-	for p := range t.tombs {
-		var rec [record.PointSize]byte
-		p.Encode(rec[:])
-		raw = append(raw, rec[:]...)
-	}
-	head, _, err := disk.WriteChain(t.pager, record.PointSize, raw)
-	if err != nil {
-		return err
-	}
+	old := t.tombHead
 	t.tombHead = head
+	if old != disk.InvalidPage {
+		if err := disk.FreeChain(t.pager, old); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// compact rebuilds a single level from all live points.
+// compact rebuilds a single level from all live points. The rebuild happens
+// before anything is destroyed: an error while reading or building leaves
+// the old levels fully intact, and an error while releasing them surfaces
+// only after the rebuilt state is installed.
 func (t *Tree) compact() error {
 	var live []record.Point
 	for _, lv := range t.levels {
@@ -156,32 +167,41 @@ func (t *Tree) compact() error {
 				live = append(live, p)
 			}
 		}
+	}
+	var tr *extpst.Tree
+	if len(live) > 0 {
+		var err error
+		tr, err = extpst.Build(t.pager, live, extpst.Segmented)
+		if err != nil {
+			return err
+		}
+	}
+	old := t.levels
+	t.levels = nil
+	t.tombs = map[record.Point]bool{}
+	t.inserted = len(live)
+	if tr != nil {
+		// Place the rebuilt structure at the smallest level that fits it.
+		level := 0
+		for cap := t.b; cap < len(live); cap *= 2 {
+			level++
+		}
+		for len(t.levels) <= level {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[level] = tr
+	}
+	if err := t.rewriteTombs(); err != nil {
+		return err
+	}
+	for _, lv := range old {
+		if lv == nil {
+			continue
+		}
 		if err := lv.Destroy(); err != nil {
 			return err
 		}
 	}
-	t.levels = nil
-	t.tombs = map[record.Point]bool{}
-	if err := t.rewriteTombs(); err != nil {
-		return err
-	}
-	t.inserted = len(live)
-	if len(live) == 0 {
-		return nil
-	}
-	tr, err := extpst.Build(t.pager, live, extpst.Segmented)
-	if err != nil {
-		return err
-	}
-	// Place the rebuilt structure at the smallest level that fits it.
-	level := 0
-	for cap := t.b; cap < len(live); cap *= 2 {
-		level++
-	}
-	for len(t.levels) <= level {
-		t.levels = append(t.levels, nil)
-	}
-	t.levels[level] = tr
 	return nil
 }
 

@@ -72,6 +72,36 @@ func RangeTreeBound(n, b, t int) float64 {
 	return float64(ceilLog(leaves, 2)) + outputTerm(t, b)
 }
 
+// LSMBound is the write tier's query bound: O(log(n/B)) occupied levels
+// each paying one static search, plus the tombstone-chain scan and the
+// output term — O(log(n/B)·bound_static + t/B). This form is the registry's
+// static worst-case estimate; the write tier records each operation against
+// LSMBoundAt with its actual level count and tombstone-chain length.
+func LSMBound(n, b, t int) float64 {
+	if b < 1 {
+		b = 1
+	}
+	levels := ceilLog((n+b-1)/b, 2)
+	// Tombstones are capped at b·⌈log_b n⌉, hence ⌈log_b n⌉+1 chain pages.
+	return LSMBoundAt(levels, ceilLog(n, b)+1, n, b, t)
+}
+
+// LSMBoundAt is LSMBound evaluated at a known level count and tombstone
+// chain length. The per-level search term ⌈log₂(n/b)⌉+2 dominates every
+// base kind's own search term (⌈log_b n⌉ for the path-cached structures,
+// ⌈log₂(n/b)⌉ for the range tree), and the output term is paid once — the
+// t results are partitioned across levels.
+func LSMBoundAt(levels, tombPages, n, b, t int) float64 {
+	if levels < 1 {
+		levels = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	per := float64(ceilLog((n+b-1)/b, 2)) + 2
+	return float64(levels)*per + float64(tombPages) + 2 + outputTerm(t, b)
+}
+
 // ceilLog is ⌈log_base n⌉, at least 1, matching the experiment harness's
 // search-term arithmetic.
 func ceilLog(n, base int) int {

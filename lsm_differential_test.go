@@ -1,0 +1,282 @@
+package pathcache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/logmethod"
+	"pathcache/internal/record"
+)
+
+// Three-way differential suite for the persisted write tier: the same
+// seeded stream of Insert/Delete/Query/Stab ops drives the file-backed
+// LSMIndex, the in-memory logarithmic-method baseline (internal/logmethod —
+// the Section 5 folklore structure the tier is the persistent rendition
+// of), and a flat oracle. Every query must agree three ways; every ~150 ops
+// the LSM index is closed WITHOUT a flush and reopened from its file, so
+// recovery replays a non-empty WAL mid-stream. A background compaction is
+// raced against the tail of each stream, and the whole suite runs under
+// -race in CI.
+//
+// Failures shrink by halving the op count while the divergence persists
+// (runs are deterministic in (ops, seed)) and print a one-line reproducer,
+// mirroring boundprop_test.go:
+//
+//	PC_LSMDIFF_SEED=<seed> go test -run TestLSMDifferential
+
+const lsmDiffOps = 600
+
+// lsmDiffSeeds returns the stream seeds: the fixed list, or the single seed
+// PC_LSMDIFF_SEED requests.
+func lsmDiffSeeds(t *testing.T) []int64 {
+	if s := os.Getenv("PC_LSMDIFF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PC_LSMDIFF_SEED=%q: %v", s, err)
+		}
+		return []int64{v}
+	}
+	return []int64{101, 102, 103}
+}
+
+// runLSMDifferential drives one deterministic stream of ops against all
+// three structures. base selects the query shape: "twosided" compares
+// 2-sided queries on points, "stabbing" compares stabbing queries on
+// diagonal-corner encoded intervals (the logmethod mirror stabs via the
+// same reduction: Query(-q, q)). dir receives the index file; every run
+// creates its own so shrink reruns start clean.
+func runLSMDifferential(dir, base string, ops int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	path := filepath.Join(dir, fmt.Sprintf("diff-%s-%d-%d.pc", base, ops, seed))
+
+	newPoint := func(id uint64) Point {
+		if base == "stabbing" {
+			lo := rng.Int63n(500)
+			return IntervalToDynamicPoint(Interval{Lo: lo, Hi: lo + 1 + rng.Int63n(150), ID: id})
+		}
+		return Point{X: rng.Int63n(500), Y: rng.Int63n(500), ID: id}
+	}
+
+	model := &diffModel{}
+	nextID := uint64(1)
+	var init []Point
+	for i := 0; i < 48; i++ {
+		p := newPoint(nextID)
+		nextID++
+		init = append(init, p)
+		model.insert(p)
+	}
+
+	ix, err := BuildDynamic(base, init, &Options{
+		PageSize: 512, BufferPoolPages: 8, Path: path, MemtableEntries: 32,
+	})
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			ix.Close()
+		}
+	}()
+
+	lm, err := logmethod.New(disk.MustStore(512))
+	if err != nil {
+		return fmt.Errorf("logmethod: %w", err)
+	}
+	for _, p := range init {
+		if err := lm.Insert(record.Point(p)); err != nil {
+			return fmt.Errorf("logmethod seed insert: %w", err)
+		}
+	}
+
+	compare := func(op int) error {
+		if base == "stabbing" {
+			q := rng.Int63n(700)
+			got, _, err := ix.Stab(q)
+			if err != nil {
+				return fmt.Errorf("op %d stab(%d): %w", op, q, err)
+			}
+			ref, err := lm.Query(-q, q)
+			if err != nil {
+				return fmt.Errorf("op %d logmethod stab(%d): %w", op, q, err)
+			}
+			var want []Interval
+			for _, p := range model.pts {
+				iv := DynamicPointToInterval(p)
+				if iv.Lo <= q && q <= iv.Hi {
+					want = append(want, iv)
+				}
+			}
+			if !sameIntervals(got, want) {
+				return fmt.Errorf("op %d stab(%d): lsm diverged from oracle (%d vs %d results)", op, q, len(got), len(want))
+			}
+			refIvs := make([]Interval, len(ref))
+			for i, p := range ref {
+				refIvs[i] = DynamicPointToInterval(Point(p))
+			}
+			if !sameIntervals(refIvs, want) {
+				return fmt.Errorf("op %d stab(%d): logmethod diverged from oracle (%d vs %d results)", op, q, len(refIvs), len(want))
+			}
+			return nil
+		}
+		a, b := rng.Int63n(500), rng.Int63n(500)
+		got, _, err := ix.Query(a, b)
+		if err != nil {
+			return fmt.Errorf("op %d query(%d,%d): %w", op, a, b, err)
+		}
+		want := model.twoSided(a, b)
+		if !samePoints(got, want) {
+			return fmt.Errorf("op %d query(%d,%d): lsm diverged from oracle (%d vs %d results)", op, a, b, len(got), len(want))
+		}
+		ref, err := lm.Query(a, b)
+		if err != nil {
+			return fmt.Errorf("op %d logmethod query(%d,%d): %w", op, a, b, err)
+		}
+		refPts := make([]Point, len(ref))
+		for i, p := range ref {
+			refPts[i] = Point(p)
+		}
+		if !samePoints(refPts, want) {
+			return fmt.Errorf("op %d logmethod query(%d,%d): diverged from oracle (%d vs %d results)", op, a, b, len(refPts), len(want))
+		}
+		return nil
+	}
+
+	var compacting <-chan error
+	drain := func() error {
+		if compacting == nil {
+			return nil
+		}
+		err := <-compacting
+		compacting = nil
+		if err != nil && !errors.Is(err, ErrStaleCompaction) {
+			return fmt.Errorf("background compaction: %w", err)
+		}
+		return nil
+	}
+
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert
+			p := newPoint(nextID)
+			nextID++
+			if _, err := ix.Insert(p); err != nil {
+				return fmt.Errorf("op %d insert: %w", op, err)
+			}
+			if err := lm.Insert(record.Point(p)); err != nil {
+				return fmt.Errorf("op %d logmethod insert: %w", op, err)
+			}
+			model.insert(p)
+		case r < 6 && len(model.pts) > 0: // delete a live record
+			p := model.pts[rng.Intn(len(model.pts))]
+			if _, err := ix.Delete(p); err != nil {
+				return fmt.Errorf("op %d delete: %w", op, err)
+			}
+			if err := lm.Delete(record.Point(p)); err != nil {
+				return fmt.Errorf("op %d logmethod delete: %w", op, err)
+			}
+			model.delete(p)
+		case r < 7: // exact-record probe against the oracle
+			var p Point
+			if len(model.pts) > 0 && rng.Intn(2) == 0 {
+				p = model.pts[rng.Intn(len(model.pts))]
+			} else {
+				p = newPoint(nextID + 1_000_000) // never inserted
+			}
+			got, _, err := ix.Has(p)
+			if err != nil {
+				return fmt.Errorf("op %d has: %w", op, err)
+			}
+			want := false
+			for _, q := range model.pts {
+				if q == p {
+					want = true
+					break
+				}
+			}
+			if got != want {
+				return fmt.Errorf("op %d has %v = %v, want %v", op, p, got, want)
+			}
+		default:
+			if err := compare(op); err != nil {
+				return err
+			}
+		}
+		if ix.Len() != len(model.pts) {
+			return fmt.Errorf("op %d: lsm Len %d, oracle %d", op, ix.Len(), len(model.pts))
+		}
+		if lm.Len() != len(model.pts) {
+			return fmt.Errorf("op %d: logmethod Len %d, oracle %d", op, lm.Len(), len(model.pts))
+		}
+		// Race a snapshot compaction against the stream's second half.
+		if op == ops/2 && compacting == nil {
+			compacting = ix.CompactBackground()
+		}
+		// Close without flushing and reopen: recovery must replay the WAL
+		// tail and land on exactly the oracle's state.
+		if op%150 == 149 {
+			if err := drain(); err != nil {
+				return err
+			}
+			if err := ix.Close(); err != nil {
+				return fmt.Errorf("op %d close: %w", op, err)
+			}
+			closed = true
+			ix, err = OpenDynamic(path)
+			if err != nil {
+				return fmt.Errorf("op %d reopen: %w", op, err)
+			}
+			closed = false
+			if ix.Len() != len(model.pts) {
+				return fmt.Errorf("op %d: reopened Len %d, oracle %d", op, ix.Len(), len(model.pts))
+			}
+		}
+	}
+	if err := drain(); err != nil {
+		return err
+	}
+	if err := compare(ops); err != nil {
+		return err
+	}
+	closed = true
+	return ix.Close()
+}
+
+// shrinkLSMDiff minimizes a failing stream by halving the op count while
+// the divergence persists, then formats the smallest reproducer.
+func shrinkLSMDiff(t *testing.T, base string, ops int, seed int64, err error) string {
+	for ops/2 >= 20 && runLSMDifferential(t.TempDir(), base, ops/2, seed) != nil {
+		ops /= 2
+	}
+	if rerr := runLSMDifferential(t.TempDir(), base, ops, seed); rerr != nil {
+		err = rerr
+	}
+	return fmt.Sprintf(
+		"lsm/%s diverges from its references at ops=%d seed=%d\n"+
+			"reproduce: PC_LSMDIFF_SEED=%d go test -run 'TestLSMDifferential/%s'\nerror: %v",
+		base, ops, seed, seed, base, err)
+}
+
+func TestLSMDifferential(t *testing.T) {
+	for _, base := range []string{"twosided", "stabbing"} {
+		base := base
+		t.Run(base, func(t *testing.T) {
+			for _, seed := range lsmDiffSeeds(t) {
+				seed := seed
+				t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+					t.Parallel()
+					if err := runLSMDifferential(t.TempDir(), base, lsmDiffOps, seed); err != nil {
+						t.Fatal(shrinkLSMDiff(t, base, lsmDiffOps, seed, err))
+					}
+				})
+			}
+		})
+	}
+}

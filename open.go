@@ -65,4 +65,5 @@ var (
 	_ Index = (*IntervalIndex)(nil)
 	_ Index = (*StabbingIndex)(nil)
 	_ Index = (*WindowIndex)(nil)
+	_ Index = (*LSMIndex)(nil)
 )

@@ -70,6 +70,13 @@ type Options struct {
 	// them with the matching Open function. Call Close when done.
 	Path string
 
+	// MemtableEntries is the dynamic write tier's flush threshold: a
+	// BuildDynamic index seals its memtable into a static level every this
+	// many updates. Zero selects the tier's default; reopened indexes
+	// inherit the threshold persisted in their manifest. Static index
+	// constructors ignore it.
+	MemtableEntries int
+
 	// Tracer, when set, receives OpStart/OpEnd events for every recorded
 	// operation (serial queries and stabs, each batch worker's queries,
 	// builds). See also WithTracer.
