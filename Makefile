@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test lint pcvet fuzz-smoke crash golden bench-json clean
+.PHONY: all build test lint pcvet allowlist fuzz-smoke crash golden bench-json clean
 
 all: build lint test
 
@@ -16,10 +16,17 @@ test:
 	$(GO) test -race ./...
 
 # pcvet is the repository's custom multichecker (cmd/pcvet): pager
-# discipline, lock-vs-I/O ordering, fixed-width encodings, %w error wrapping.
+# discipline, lock-vs-I/O ordering, fixed-width encodings, %w error
+# wrapping, and the crash-durability analyzers (durabilityorder,
+# commitprotocol, snapshotimmutable) over their CFG/dataflow core.
 pcvet:
 	@mkdir -p $(BIN)
 	$(GO) build -o $(BIN)/pcvet ./cmd/pcvet
+
+# The suppression report: every //pcvet:allow with its justification.
+# Fails if any directive lacks one; CI uploads the output as an artifact.
+allowlist: pcvet
+	$(BIN)/pcvet allowlist ./...
 
 # staticcheck and govulncheck run only when installed so offline checkouts
 # still get the gofmt, go vet and pcvet passes; CI always runs them.

@@ -22,11 +22,14 @@ import (
 	"strings"
 
 	"pathcache/internal/analysis"
+	"pathcache/internal/analysis/commitprotocol"
+	"pathcache/internal/analysis/durabilityorder"
 	"pathcache/internal/analysis/errwrapinjected"
 	"pathcache/internal/analysis/fixedwidth"
 	"pathcache/internal/analysis/lockheldio"
 	"pathcache/internal/analysis/obsdiscipline"
 	"pathcache/internal/analysis/pagerdiscipline"
+	"pathcache/internal/analysis/snapshotimmutable"
 )
 
 // all lists every analyzer pcvet knows, in reporting order.
@@ -36,6 +39,9 @@ var all = []*analysis.Analyzer{
 	fixedwidth.Analyzer,
 	obsdiscipline.Analyzer,
 	errwrapinjected.Analyzer,
+	durabilityorder.Analyzer,
+	commitprotocol.Analyzer,
+	snapshotimmutable.Analyzer,
 }
 
 func main() {
@@ -51,9 +57,12 @@ func main() {
 		fmt.Println("[]")
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		runUnit(args[0])
+	case len(args) > 0 && args[0] == "allowlist":
+		runAllowlist(args[1:])
 	case len(args) > 0 && args[0] == "-h" || len(args) == 0:
 		fmt.Fprintln(os.Stderr, "usage: pcvet ./...          (standalone, from the repo root)")
 		fmt.Fprintln(os.Stderr, "       pcvet <dir> [...]    (explicit package directories)")
+		fmt.Fprintln(os.Stderr, "       pcvet allowlist ./... (report every //pcvet:allow suppression)")
 		fmt.Fprintln(os.Stderr, "       go vet -vettool=$(which pcvet) ./...")
 		fmt.Fprintln(os.Stderr, "analyzers:")
 		for _, a := range all {

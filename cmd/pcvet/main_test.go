@@ -60,6 +60,35 @@ func TestMultichecker(t *testing.T) {
 		}
 	})
 
+	// The durability analyzers ride the same binary: each bad fixture must
+	// fail through the multichecker exactly as it does under analysistest.
+	for _, tc := range []struct {
+		analyzer string
+		frag     string
+	}{
+		{"durabilityorder", "acknowledges a WAL append with no fsync barrier"},
+		{"commitprotocol", "freed with no commit flip"},
+		{"snapshotimmutable", "derived from a //pcvet:snapshot field"},
+	} {
+		t.Run("FixtureFails/"+tc.analyzer, func(t *testing.T) {
+			fixture := filepath.Join("internal", "analysis", tc.analyzer, "testdata", "src", tc.analyzer+"_bad")
+			cmd := exec.Command(bin, fixture)
+			cmd.Dir = root
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("pcvet %s: want exit 2, got %v\nstderr:\n%s", fixture, err, stderr.String())
+			}
+			for _, frag := range []string{"[" + tc.analyzer + "]", tc.frag} {
+				if !strings.Contains(stderr.String(), frag) {
+					t.Errorf("stderr missing %q:\n%s", frag, stderr.String())
+				}
+			}
+		})
+	}
+
 	t.Run("RepoTreeClean", func(t *testing.T) {
 		cmd := exec.Command(bin, "./...")
 		cmd.Dir = root

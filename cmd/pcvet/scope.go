@@ -5,11 +5,14 @@ import (
 	"strings"
 
 	"pathcache/internal/analysis"
+	"pathcache/internal/analysis/commitprotocol"
+	"pathcache/internal/analysis/durabilityorder"
 	"pathcache/internal/analysis/errwrapinjected"
 	"pathcache/internal/analysis/fixedwidth"
 	"pathcache/internal/analysis/lockheldio"
 	"pathcache/internal/analysis/obsdiscipline"
 	"pathcache/internal/analysis/pagerdiscipline"
+	"pathcache/internal/analysis/snapshotimmutable"
 )
 
 // Scoping: which analyzers run on which packages. The conventions are
@@ -52,6 +55,18 @@ var lockPackages = []string{"internal/disk", "pathcache"}
 // packages still exercise it).
 var obsExempt = []string{"internal/obs", "internal/engine", "pathcache"}
 
+// durabilityPackages hold the WAL: durabilityorder polices the
+// append -> fsync -> ack ordering where acknowledged writes live.
+var durabilityPackages = []string{"internal/lsm"}
+
+// commitPackages flip metadata heads: the write-all-new -> flip -> free-old
+// discipline applies wherever a commit point is published.
+var commitPackages = []string{"internal/lsm", "internal/disk", "internal/engine"}
+
+// snapshotPackages declare //pcvet:snapshot fields (the marker is
+// package-local, so the analyzer only has teeth where the fields live).
+var snapshotPackages = []string{"internal/lsm"}
+
 // analyzersFor selects the analyzers for importPath. Fixture packages run
 // the analyzer their name starts with, or every analyzer when none matches,
 // so the multichecker can be pointed at any fixture directly.
@@ -83,6 +98,15 @@ func analyzersFor(importPath string) []*analysis.Analyzer {
 		out = append(out, obsdiscipline.Analyzer)
 	}
 	out = append(out, errwrapinjected.Analyzer)
+	if matchesAny(importPath, durabilityPackages) {
+		out = append(out, durabilityorder.Analyzer)
+	}
+	if matchesAny(importPath, commitPackages) {
+		out = append(out, commitprotocol.Analyzer)
+	}
+	if matchesAny(importPath, snapshotPackages) {
+		out = append(out, snapshotimmutable.Analyzer)
+	}
 	return out
 }
 

@@ -1,0 +1,17 @@
+// Package allowlist_badreason is an allowlist-subcommand fixture: its one
+// directive has no justification, which must fail the report.
+package allowlist_badreason
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	//pcvet:allow lockheldio
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The intra-package call-graph summary layer. Several analyzers need the
+// same extension beyond a single function body: a property of a callee
+// (performs pager I/O, establishes a durability barrier, mutates its
+// parameter) must taint the call sites that reach it, transitively within
+// the analyzed package. CallGraph collects every function and method
+// declaration with a body, and Taint computes the fixed point of "contains
+// a matching call, or calls a tainted function".
+//
+// The layer is deliberately intra-package: cross-package callees are
+// classified by the analyzers themselves (by name and package, the way
+// IsPagerIO does), since only the current package's syntax is loaded.
+
+// CallGraph indexes one package's function declarations for summary
+// computation.
+type CallGraph struct {
+	info *types.Info
+	// Decls maps each function or method object to its declaration.
+	// Functions without bodies (external linkage) are absent.
+	Decls map[*types.Func]*ast.FuncDecl
+}
+
+// NewCallGraph collects every declared function and method in files.
+func NewCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	cg := &CallGraph{info: info, Decls: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					cg.Decls[fn] = fd
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// Taint returns the set of package-local functions whose bodies
+// (transitively, within the package) contain a call matched by seed.
+// Function literals inside a body count toward the enclosing declaration:
+// the conservative reading for taint propagation, since the literal is
+// usually invoked where it is built (or stored and run later with the same
+// effect).
+func (cg *CallGraph) Taint(seed func(call *ast.CallExpr) bool) map[*types.Func]bool {
+	tainted := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range cg.Decls {
+			if tainted[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if seed(call) || tainted[CalleeOf(cg.info, call)] {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				tainted[fn] = true
+				changed = true
+			}
+		}
+	}
+	return tainted
+}
+
+// LocalCallee resolves call to a function declared in this package, or nil.
+func (cg *CallGraph) LocalCallee(call *ast.CallExpr) *types.Func {
+	fn := CalleeOf(cg.info, call)
+	if fn == nil {
+		return nil
+	}
+	if _, ok := cg.Decls[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// CallName returns the terminal identifier a call invokes — the method or
+// function name for resolved callees, the selector's field name for calls
+// through function-valued fields (cfg.Sync, cfg.Commit), or "" when the
+// call has no name (a call of a call, a conversion).
+func CallName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,485 @@
+// Package cfg builds per-function control-flow graphs over go/ast, the
+// substrate the ordering analyzers (durabilityorder, commitprotocol) reason
+// on. A Graph is a set of basic blocks: maximal straight-line statement
+// runs connected by the edges control can take. Because a basic block
+// executes atomically (entered at the top, left at the bottom), "call A is
+// ordered before call B on every path" reduces to block dominance plus
+// intra-block node order — exactly the currency the durability protocol is
+// written in (write-all-new → flip → free-old; append → fsync → ack).
+//
+// The builder covers the statement forms the repository uses: if/else,
+// for (cond/post, break, continue), range, switch/type-switch (with
+// fallthrough), select, labeled statements, goto, and early returns.
+// Deferred calls are recorded both in their registration block and in
+// Graph.Defers so analyzers can model at-return execution when they care.
+// Function literals are not descended into — a literal's body runs when it
+// is called, not where it is written, so analyzers treat each literal as
+// its own function.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// A Block is one basic block: straight-line nodes executed in order, then a
+// transfer to one of Succs. Nodes holds statements and the condition/tag
+// expressions evaluated in this block, in execution order.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.head", ... for tests and debugging
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d[%s]", b.Index, b.Kind) }
+
+// A Graph is the control-flow graph of one function body. Entry is
+// Blocks[0]; Exit is the single synthetic block every return (and the fall
+// off the end of the body) transfers to.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists every defer statement in the body, in source order —
+	// the calls that run between the last explicit statement and the
+	// actual return.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.stmts(body.List)
+	// Falling off the end of the body reaches the exit — unless the body
+	// ended with a terminator, leaving an orphan unreachable block.
+	if b.cur == g.Entry || len(b.cur.Preds) > 0 {
+		edge(b.cur, g.Exit)
+	}
+	// The exit block is appended last so test summaries read
+	// entry-first/exit-last regardless of how many blocks the body needed.
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	b.resolveGotos()
+	return g
+}
+
+// Reachable reports whether a path of one or more edges leads from a to b.
+// Note Reachable(a, a) is true only when a lies on a cycle.
+func (g *Graph) Reachable(a, b *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	work := append([]*Block(nil), a.Succs...)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if n == b {
+			return true
+		}
+		if seen[n.Index] {
+			continue
+		}
+		seen[n.Index] = true
+		work = append(work, n.Succs...)
+	}
+	return false
+}
+
+// Summary renders the graph compactly for tests: one line per block with
+// its successor list.
+func (g *Graph) Summary() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		var succs []string
+		for _, s := range b.Succs {
+			succs = append(succs, fmt.Sprintf("b%d", s.Index))
+		}
+		sort.Strings(succs)
+		fmt.Fprintf(&sb, "%s -> %s\n", b, strings.Join(succs, " "))
+	}
+	return sb.String()
+}
+
+// labelInfo tracks one label: the block a goto jumps to, and the loop
+// break/continue targets when the label names a loop or switch.
+type labelInfo struct {
+	target *Block // goto target (the labeled statement's block)
+	brk    *Block
+	cont   *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	loops  []loopScope // innermost last
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+	// label to attach to the next loop/switch statement (set by a labeled
+	// statement wrapping it).
+	pendingLabel string
+}
+
+type loopScope struct {
+	label string
+	brk   *Block // break target; nil cont means "break only" (switch/select)
+	cont  *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge records a control transfer from -> to.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to to and leaves the builder in
+// a fresh unreachable block (statements after a terminator).
+func (b *builder) jump(to *Block) {
+	edge(b.cur, to)
+	b.cur = b.newBlock("unreachable")
+}
+
+// startBlock makes blk current after linking the current block to it.
+func (b *builder) startBlock(blk *Block) {
+	edge(b.cur, blk)
+	b.cur = blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchBody(s.Body, b.takeLabel(), hasDefault(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchBody(s.Body, b.takeLabel(), hasDefault(s.Body))
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case nil:
+		// absent init/post clauses
+	default:
+		// Expr, Assign, Decl, Send, IncDec, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the label a wrapping LabeledStmt registered for the
+// statement about to be built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	// Give the labeled statement its own block so goto has a target.
+	blk := b.newBlock("label." + s.Label.Name)
+	b.startBlock(blk)
+	info := b.labels[s.Label.Name]
+	if info == nil {
+		info = &labelInfo{}
+		b.labels[s.Label.Name] = info
+	}
+	info.target = blk
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = s.Label.Name
+	}
+	b.stmt(s.Stmt)
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.breakTarget(name); t != nil {
+			b.jump(t)
+			return
+		}
+	case "continue":
+		if t := b.continueTarget(name); t != nil {
+			b.jump(t)
+			return
+		}
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: name})
+		b.cur = b.newBlock("unreachable")
+		return
+	case "fallthrough":
+		// Handled by switchBody: the case-body builder links to the next
+		// clause. Treated here as a plain fallthrough-to-next marker; the
+		// statement itself carries no edge.
+		b.add(s)
+		return
+	}
+	// A branch without a known target (malformed label): end the block
+	// conservatively at exit so no spurious fallthrough is modeled.
+	b.jump(b.g.Exit)
+}
+
+func (b *builder) breakTarget(label string) *Block {
+	if label != "" {
+		if info := b.labels[label]; info != nil && info.brk != nil {
+			return info.brk
+		}
+		return nil
+	}
+	if len(b.loops) == 0 {
+		return nil
+	}
+	return b.loops[len(b.loops)-1].brk
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	if label != "" {
+		if info := b.labels[label]; info != nil && info.cont != nil {
+			return info.cont
+		}
+		return nil
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].cont != nil {
+			return b.loops[i].cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.loops = append(b.loops, loopScope{label: label, brk: brk, cont: cont})
+	if label != "" {
+		info := b.labels[label]
+		if info == nil {
+			info = &labelInfo{}
+			b.labels[label] = info
+		}
+		info.brk, info.cont = brk, cont
+	}
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	condBlk := b.cur
+	then := b.newBlock("if.then")
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+	}
+	done := b.newBlock("if.done")
+
+	edge(condBlk, then)
+	b.cur = then
+	b.stmts(s.Body.List)
+	edge(b.cur, done)
+
+	if els != nil {
+		edge(condBlk, els)
+		b.cur = els
+		b.stmt(s.Else)
+		edge(b.cur, done)
+	} else {
+		edge(condBlk, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	b.stmt(s.Init)
+	head := b.newBlock("for.head")
+	b.startBlock(head)
+	b.add(s.Cond)
+
+	body := b.newBlock("for.body")
+	// continue goes to the post statement when there is one, else the head.
+	var post *Block
+	cont := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		cont = post
+	}
+	done := b.newBlock("for.done")
+
+	edge(head, body)
+	if s.Cond != nil {
+		edge(head, done)
+	}
+	b.pushLoop(label, done, cont)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.popLoop()
+	if post != nil {
+		edge(b.cur, post)
+		edge(post, head)
+	} else {
+		edge(b.cur, head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.startBlock(head)
+	head.Nodes = append(head.Nodes, s) // the per-iteration key/value binding
+
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	edge(head, body)
+	edge(head, done)
+
+	b.pushLoop(label, done, head)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.popLoop()
+	edge(b.cur, head)
+	b.cur = done
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// switchBody builds the clause blocks of a switch or type switch: every
+// clause is entered from the switch head, fallthrough chains to the next
+// clause, and a missing default adds the head -> done edge.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, withDefault bool) {
+	head := b.cur
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock(fmt.Sprintf("case.%d", i))
+		edge(head, blocks[i])
+	}
+	done := b.newBlock("switch.done")
+	b.pushLoop(label, done, nil)
+	if !withDefault {
+		edge(head, done)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		ft := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+			}
+			b.stmt(st)
+		}
+		if ft && i+1 < len(blocks) {
+			edge(b.cur, blocks[i+1])
+		} else {
+			edge(b.cur, done)
+		}
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	blocks := make([]*Block, len(s.Body.List))
+	for i := range s.Body.List {
+		blocks[i] = b.newBlock(fmt.Sprintf("comm.%d", i))
+		edge(head, blocks[i])
+	}
+	done := b.newBlock("select.done")
+	b.pushLoop(label, done, nil)
+	for i, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		b.cur = blocks[i]
+		b.stmt(cc.Comm)
+		b.stmts(cc.Body)
+		edge(b.cur, done)
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.gotos {
+		if info := b.labels[pg.label]; info != nil && info.target != nil {
+			edge(pg.from, info.target)
+		} else {
+			edge(pg.from, b.g.Exit)
+		}
+	}
+}

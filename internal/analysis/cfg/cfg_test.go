@@ -1,0 +1,316 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses one function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() error {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// TestShapes pins the block/edge structure of every statement form the
+// ordering analyzers rely on. Expectations use Summary()'s one-line-per-
+// block encoding: "b<i>[kind] -> b<j> b<k>".
+func TestShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want []string
+	}{
+		{
+			name: "straight line",
+			body: "x := 1\n_ = x\nreturn nil",
+			want: []string{
+				"b0[entry] -> b2",
+				"b1[unreachable] -> ",
+				"b2[exit] -> ",
+			},
+		},
+		{
+			name: "if without else",
+			body: "x := 1\nif x > 0 {\n x++\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1 b2",
+				"b1[if.then] -> b2",
+				"b2[if.done] -> b4",
+				"b3[unreachable] -> ",
+				"b4[exit] -> ",
+			},
+		},
+		{
+			name: "if with else",
+			body: "x := 1\nif x > 0 {\n x++\n} else {\n x--\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1 b2",
+				"b1[if.then] -> b3",
+				"b2[if.else] -> b3",
+				"b3[if.done] -> b5",
+				"b4[unreachable] -> ",
+				"b5[exit] -> ",
+			},
+		},
+		{
+			name: "early return",
+			body: "x := 1\nif x > 0 {\n return nil\n}\nx--\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1 b2",
+				"b1[if.then] -> b5", // return jumps straight to exit
+				"b2[if.done] -> b5",
+				"b3[unreachable] -> b2", // dead tail of the then arm
+				"b4[unreachable] -> ",   // tail after the second return
+				"b5[exit] -> ",
+			},
+		},
+		{
+			name: "for with cond and post",
+			body: "for i := 0; i < 3; i++ {\n _ = i\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1",
+				"b1[for.head] -> b2 b4",
+				"b2[for.body] -> b3",
+				"b3[for.post] -> b1",
+				"b4[for.done] -> b6",
+				"b5[unreachable] -> ",
+				"b6[exit] -> ",
+			},
+		},
+		{
+			name: "for with break and continue",
+			body: "for {\n if true {\n  break\n }\n if false {\n  continue\n }\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1",
+				"b1[for.head] -> b2",    // infinite for: no head->done edge
+				"b2[for.body] -> b4 b5", // first if cond
+				"b3[for.done] -> b11",   // target of break
+				"b4[if.then] -> b3",     // break -> for.done
+				"b5[if.done] -> b7 b8",  // second if cond
+				"b6[unreachable] -> b5",
+				"b7[if.then] -> b1", // continue -> head
+				"b8[if.done] -> b1", // loop tail back to head
+				"b9[unreachable] -> b8",
+				"b10[unreachable] -> ",
+				"b11[exit] -> ",
+			},
+		},
+		{
+			name: "range",
+			body: "xs := []int{1}\nfor _, x := range xs {\n _ = x\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1",
+				"b1[range.head] -> b2 b3",
+				"b2[range.body] -> b1",
+				"b3[range.done] -> b5",
+				"b4[unreachable] -> ",
+				"b5[exit] -> ",
+			},
+		},
+		{
+			name: "switch without default",
+			body: "x := 1\nswitch x {\ncase 1:\n x++\ncase 2:\n x--\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1 b2 b3",
+				"b1[case.0] -> b3",
+				"b2[case.1] -> b3",
+				"b3[switch.done] -> b5",
+				"b4[unreachable] -> ",
+				"b5[exit] -> ",
+			},
+		},
+		{
+			name: "switch with default and fallthrough",
+			body: "x := 1\nswitch x {\ncase 1:\n fallthrough\ncase 2:\n x--\ndefault:\n x++\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1 b2 b3",
+				"b1[case.0] -> b2", // fallthrough chains to the next clause
+				"b2[case.1] -> b4",
+				"b3[case.2] -> b4",
+				"b4[switch.done] -> b6",
+				"b5[unreachable] -> ",
+				"b6[exit] -> ",
+			},
+		},
+		{
+			name: "defer stays in its block",
+			body: "defer func() {}()\nreturn nil",
+			want: []string{
+				"b0[entry] -> b2",
+				"b1[unreachable] -> ",
+				"b2[exit] -> ",
+			},
+		},
+		{
+			name: "labeled loop break",
+			body: "outer:\nfor {\n for {\n  break outer\n }\n}\nreturn nil",
+			want: []string{
+				"b0[entry] -> b1",
+				"b1[label.outer] -> b2",
+				"b2[for.head] -> b3",  // outer loop (infinite: no head->done edge)
+				"b3[for.body] -> b5",  // inner loop head
+				"b4[for.done] -> b10", // outer done, target of `break outer`
+				"b5[for.head] -> b6",
+				"b6[for.body] -> b4", // break outer jumps to the outer done
+				"b7[for.done] -> b2", // inner done falls back to the outer head
+				"b8[unreachable] -> b5",
+				"b9[unreachable] -> ",
+				"b10[exit] -> ",
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := build(t, tc.body)
+			got := strings.TrimSpace(g.Summary())
+			want := strings.Join(tc.want, "\n")
+			// Summary prints "-> " with no successors; normalize spacing.
+			if norm(got) != norm(want) {
+				t.Errorf("graph mismatch\n got:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+func norm(s string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		out = append(out, strings.TrimSpace(l))
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestDominators pins dominator sets for the shapes the ordering analyzers
+// lean on: a barrier in one branch must not dominate the join, a barrier
+// on the straight line must.
+func TestDominators(t *testing.T) {
+	t.Run("branch does not dominate join", func(t *testing.T) {
+		g := build(t, "x := 1\nif x > 0 {\n x++\n}\nreturn nil")
+		d := g.Dominators()
+		entry, then, done := g.Blocks[0], g.Blocks[1], g.Blocks[2]
+		if !d.Dominates(entry, done) {
+			t.Error("entry must dominate if.done")
+		}
+		if d.Dominates(then, done) {
+			t.Error("if.then must not dominate if.done (the else path skips it)")
+		}
+		if d.Idom(done) != entry {
+			t.Errorf("idom(if.done) = %v, want entry", d.Idom(done))
+		}
+		if d.Idom(entry) != nil {
+			t.Errorf("idom(entry) = %v, want nil", d.Idom(entry))
+		}
+	})
+
+	t.Run("both arms dominated by cond", func(t *testing.T) {
+		g := build(t, "x := 1\nif x > 0 {\n x++\n} else {\n x--\n}\nreturn nil")
+		d := g.Dominators()
+		entry, then, els, done := g.Blocks[0], g.Blocks[1], g.Blocks[2], g.Blocks[3]
+		for _, b := range []*Block{then, els, done} {
+			if !d.Dominates(entry, b) {
+				t.Errorf("entry must dominate %v", b)
+			}
+		}
+		if d.Idom(then) != entry || d.Idom(els) != entry || d.Idom(done) != entry {
+			t.Error("idom of then/else/done must be the cond block")
+		}
+	})
+
+	t.Run("loop body does not dominate loop exit", func(t *testing.T) {
+		g := build(t, "for i := 0; i < 3; i++ {\n _ = i\n}\nreturn nil")
+		d := g.Dominators()
+		head, body, done := g.Blocks[1], g.Blocks[2], g.Blocks[4]
+		if !d.Dominates(head, body) || !d.Dominates(head, done) {
+			t.Error("for.head must dominate body and done")
+		}
+		if d.Dominates(body, done) {
+			t.Error("for.body must not dominate for.done (zero-iteration path)")
+		}
+	})
+
+	t.Run("straight line dominates exit", func(t *testing.T) {
+		g := build(t, "x := 1\n_ = x\nreturn nil")
+		d := g.Dominators()
+		if !d.Dominates(g.Entry, g.Exit) {
+			t.Error("entry must dominate exit")
+		}
+		if d.Dominates(g.Exit, g.Entry) {
+			t.Error("exit must not dominate entry")
+		}
+	})
+
+	t.Run("early return splits dominance", func(t *testing.T) {
+		g := build(t, "x := 1\nif x > 0 {\n return nil\n}\nx--\nreturn nil")
+		d := g.Dominators()
+		// b1 = if.then (returns), b2 = if.done: then must not dominate exit,
+		// and done must not either (the early return bypasses it).
+		then, done := g.Blocks[1], g.Blocks[2]
+		if d.Dominates(then, g.Exit) {
+			t.Error("early-return branch must not dominate exit")
+		}
+		if d.Dominates(done, g.Exit) {
+			t.Error("post-if code must not dominate exit (early return bypasses)")
+		}
+		if !d.Dominates(g.Entry, g.Exit) {
+			t.Error("entry must dominate exit")
+		}
+	})
+
+	t.Run("unreachable blocks dominated by nothing", func(t *testing.T) {
+		g := build(t, "return nil\n// dead:\nx := 1\n_ = x")
+		d := g.Dominators()
+		dead := g.Blocks[1] // block after the return
+		if dead.Kind != "unreachable" {
+			t.Fatalf("expected unreachable block, got %v", dead)
+		}
+		if d.Dominates(g.Entry, dead) {
+			t.Error("entry must not dominate an unreachable block")
+		}
+		if d.Idom(dead) != nil {
+			t.Errorf("idom(unreachable) = %v, want nil", d.Idom(dead))
+		}
+	})
+}
+
+// TestReachable pins the forward-reachability relation commitprotocol uses
+// for its write-after-flip check.
+func TestReachable(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n x++\n}\nreturn nil")
+	entry, then, done := g.Blocks[0], g.Blocks[1], g.Blocks[2]
+	if !g.Reachable(entry, done) || !g.Reachable(then, done) {
+		t.Error("done must be reachable from entry and then")
+	}
+	if g.Reachable(done, then) {
+		t.Error("then must not be reachable from done")
+	}
+	if g.Reachable(entry, entry) {
+		t.Error("acyclic entry must not reach itself")
+	}
+
+	loop := build(t, "for {\n x := 1\n _ = x\n}")
+	head := loop.Blocks[1]
+	if !loop.Reachable(head, head) {
+		t.Error("loop head must reach itself through the back edge")
+	}
+}
+
+// TestDefers pins that deferred calls are collected in source order.
+func TestDefers(t *testing.T) {
+	g := build(t, "defer func() {}()\nif true {\n defer func() {}()\n}\nreturn nil")
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Error("defers must be in source order")
+	}
+}

@@ -1,0 +1,99 @@
+package cfg
+
+// Dominator computation: the iterative algorithm of Cooper, Harvey and
+// Kennedy ("A Simple, Fast Dominance Algorithm"), which converges in a few
+// passes over the blocks in reverse postorder. Function bodies are tiny, so
+// simplicity beats the asymptotics of Lengauer–Tarjan.
+
+// Dominators answers dominance queries over one Graph. A block D dominates
+// a block B when every path from the entry to B passes through D (so D's
+// straight-line nodes have all executed by the time B runs).
+type Dominators struct {
+	idom []*Block // idom[b.Index], nil for the entry and unreachable blocks
+	rpo  []int    // reverse-postorder number per block index, -1 if unreachable
+}
+
+// Dominators computes the dominator tree of g.
+func (g *Graph) Dominators() *Dominators {
+	n := len(g.Blocks)
+	d := &Dominators{idom: make([]*Block, n), rpo: make([]int, n)}
+	for i := range d.rpo {
+		d.rpo[i] = -1
+	}
+
+	// Postorder DFS from the entry.
+	var order []*Block
+	seen := make([]bool, n)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(g.Entry)
+	// Reverse-postorder numbering: entry gets 0.
+	for i, b := range order {
+		d.rpo[b.Index] = len(order) - 1 - i
+	}
+
+	d.idom[g.Entry.Index] = g.Entry // temporarily self, cleared below
+	for changed := true; changed; {
+		changed = false
+		// Walk in reverse postorder (order is postorder, so iterate backward).
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if d.idom[p.Index] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b.Index] != newIdom {
+				d.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[g.Entry.Index] = nil
+	return d
+}
+
+func (d *Dominators) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.rpo[a.Index] > d.rpo[b.Index] {
+			a = d.idom[a.Index]
+		}
+		for d.rpo[b.Index] > d.rpo[a.Index] {
+			b = d.idom[b.Index]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator, nil for the entry and for blocks
+// unreachable from it.
+func (d *Dominators) Idom(b *Block) *Block { return d.idom[b.Index] }
+
+// Dominates reports whether a dominates b. Every block dominates itself;
+// unreachable blocks are dominated by nothing else.
+func (d *Dominators) Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = d.idom[b.Index]
+	}
+	return false
+}

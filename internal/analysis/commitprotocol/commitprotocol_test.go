@@ -1,0 +1,16 @@
+package commitprotocol_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/commitprotocol"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/commitprotocol_bad", commitprotocol.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/commitprotocol_good", commitprotocol.Analyzer)
+}

@@ -1,0 +1,89 @@
+// Package commitprotocol_good exercises the approved commit shapes:
+// write-all-new, flip, free-old — with the flip reached directly, through a
+// package-local wrapper, and with a justified stale-path suppression.
+package commitprotocol_good
+
+import (
+	"pathcache/internal/disk"
+)
+
+type config struct {
+	Commit func([]byte) error
+}
+
+type store struct {
+	p   disk.Pager
+	fs  *disk.FileStore
+	cfg config
+}
+
+// commit wraps the config hook the way lsm.Tree.commit does.
+func (s *store) commit(blob []byte) error {
+	if s.cfg.Commit == nil {
+		return nil
+	}
+	return s.cfg.Commit(blob)
+}
+
+// freeAll is a free-only helper: its ordering is its callers' concern.
+func (s *store) freeAll(ids []disk.PageID) error {
+	for _, id := range ids {
+		if err := s.p.Free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canonical is the full discipline: write the new page, flip through the
+// local wrapper, then free the superseded pages through a helper.
+func (s *store) canonical(old []disk.PageID, id disk.PageID, page, blob []byte) error {
+	if err := s.p.Write(id, page); err != nil {
+		return err
+	}
+	if err := s.commit(blob); err != nil {
+		return err
+	}
+	return s.freeAll(old)
+}
+
+// superblockFlip mirrors engine.ReplaceMeta: write, SetAppHead, then free
+// the old metadata page under the flip's dominance.
+func (s *store) superblockFlip(oldMeta disk.PageID, page []byte) error {
+	id, err := s.p.Alloc()
+	if err != nil {
+		return err
+	}
+	if err := s.p.Write(id, page); err != nil {
+		return err
+	}
+	if err := s.fs.SetAppHead(id); err != nil {
+		return err
+	}
+	if oldMeta != disk.InvalidPage {
+		if err := s.p.Free(oldMeta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchThenFlip loops all new-chain writes before the single flip.
+func (s *store) batchThenFlip(ids []disk.PageID, page, blob []byte) error {
+	for _, id := range ids {
+		if err := s.p.Write(id, page); err != nil {
+			return err
+		}
+	}
+	return s.commit(blob)
+}
+
+// staleAbort frees pages this call built itself and never published — the
+// sanctioned exception, carrying its justification.
+func (s *store) staleAbort(sealed disk.PageID, stale bool, blob []byte) error {
+	if stale {
+		//pcvet:allow commitprotocol -- fixture mirror of freeing this call's own uncommitted pages on the stale path
+		return s.p.Free(sealed)
+	}
+	return s.commit(blob)
+}

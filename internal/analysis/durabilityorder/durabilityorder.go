@@ -1,0 +1,269 @@
+// Package durabilityorder enforces the WAL acknowledgement contract of the
+// LSM tier: a record appended to the write-ahead chain may only be
+// acknowledged — a nil error returned to the caller — after a durability
+// barrier (fsync) whose error was checked. Returning success while an
+// append is still sitting in the OS page cache is the classic
+// lost-acknowledged-write bug: the caller moves on, the machine loses
+// power, and a write it was told is durable evaporates.
+//
+// The analysis runs per function on the control-flow graph. A WAL append
+// (disk.ChainAppender.Append, or a call into a package-local function that
+// transitively appends without issuing its own barrier) sets a pending bit;
+// a barrier call whose error is consumed clears it; the bit meets by OR
+// across predecessors. A `return ..., nil` reached with the bit set is the
+// violation. A barrier whose error result is discarded (expression
+// statement, blank assignment) gets its own diagnostic: an fsync that
+// failed is not a barrier, and acking past it is the same lost write with
+// extra steps.
+//
+// Barriers are recognised by terminal name — Sync, Commit, ReplaceMeta,
+// SaveMeta — because the LSM tier reaches its fsyncs through func-valued
+// config fields (cfg.Sync, cfg.Commit) that the type checker cannot resolve
+// to a *types.Func. A package-local callee that transitively issues a
+// barrier (Tree.sync wrapping cfg.Sync) counts as a barrier at its call
+// sites.
+package durabilityorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pathcache/internal/analysis"
+	"pathcache/internal/analysis/cfg"
+)
+
+// Analyzer is the durabilityorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "durabilityorder",
+	Doc:  "every path from a WAL append to a successful return must pass a checked fsync barrier",
+	Run:  run,
+}
+
+// barrierNames are the terminal identifiers that establish durability: the
+// engine's fsync and meta-flip entry points plus the LSM config hooks.
+// Matched by name so calls through func-valued fields (t.cfg.Sync) count.
+var barrierNames = map[string]bool{
+	"Sync": true, "Commit": true, "ReplaceMeta": true, "SaveMeta": true,
+}
+
+func run(pass *analysis.Pass) error {
+	cg := analysis.NewCallGraph(pass.TypesInfo, pass.Files)
+	// Local functions that transitively issue a barrier / a WAL append.
+	barrierFns := cg.Taint(func(call *ast.CallExpr) bool {
+		return barrierNames[analysis.CallName(call)]
+	})
+	appendFns := cg.Taint(func(call *ast.CallExpr) bool {
+		return isWALAppend(pass.TypesInfo, call)
+	})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &checker{
+				pass:       pass,
+				cg:         cg,
+				barrierFns: barrierFns,
+				appendFns:  appendFns,
+			}
+			a.check(fd)
+		}
+	}
+	return nil
+}
+
+// isWALAppend reports whether call appends to the write-ahead chain:
+// disk.ChainAppender.Append. ChainWriter.Append is deliberately excluded —
+// level-build writes are made durable by the commit flip that publishes
+// them, not by a per-record barrier.
+func isWALAppend(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeOf(info, call)
+	if fn == nil || fn.Name() != "Append" || !analysis.PkgIs(fn.Pkg(), "internal/disk") {
+		return false
+	}
+	named := analysis.RecvNamed(fn)
+	return named != nil && named.Obj().Name() == "ChainAppender"
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	cg         *analysis.CallGraph
+	barrierFns map[*types.Func]bool
+	appendFns  map[*types.Func]bool
+}
+
+// event is one durability-relevant call in a block, in execution order.
+type event struct {
+	call    *ast.CallExpr
+	kind    int  // evAppend or evBarrier
+	checked bool // barrier only: error result consumed
+}
+
+const (
+	evAppend = iota
+	evBarrier
+)
+
+func (c *checker) check(fd *ast.FuncDecl) {
+	g := cfg.New(fd.Body)
+	events := make([][]event, len(g.Blocks))
+	any := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			events[b.Index] = append(events[b.Index], c.nodeEvents(n)...)
+		}
+		for _, e := range events[b.Index] {
+			if e.kind == evAppend {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return // no WAL appends: nothing to order
+	}
+
+	// Forward dataflow: pending[b] = an append is un-barriered on some path
+	// into b. Meet is OR; the transfer runs the block's events in order.
+	in := make([]bool, len(g.Blocks))
+	out := make([]bool, len(g.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			pin := false
+			for _, p := range b.Preds {
+				pin = pin || out[p.Index]
+			}
+			in[b.Index] = pin
+			pout := pin
+			for _, e := range events[b.Index] {
+				if e.kind == evAppend {
+					pout = true
+				} else {
+					// Any barrier clears the bit — an unchecked one is
+					// reported at its own position instead of cascading a
+					// second diagnostic onto every return it reaches.
+					pout = false
+				}
+			}
+			if pout != out[b.Index] {
+				out[b.Index] = pout
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass: replay each block from its converged in-state.
+	for _, b := range g.Blocks {
+		pending := in[b.Index]
+		for _, n := range b.Nodes {
+			for _, e := range c.nodeEvents(n) {
+				switch {
+				case e.kind == evAppend:
+					pending = true
+				case e.checked:
+					pending = false
+				case pending:
+					c.pass.Reportf(e.call.Pos(),
+						"durability barrier error discarded while a WAL append is pending: a failed fsync is not a barrier; check the error before acknowledging (or justify with %s durabilityorder)",
+						analysis.DirectivePrefix)
+					pending = false // reported once; do not cascade to the return
+				}
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok && pending && isSuccessReturn(ret) {
+				c.pass.Reportf(ret.Pos(),
+					"successful return acknowledges a WAL append with no fsync barrier on this path: the write can be lost after the caller was told it is durable; sync (and check the error) first, or justify with %s durabilityorder",
+					analysis.DirectivePrefix)
+			}
+		}
+	}
+}
+
+// nodeEvents extracts the durability events of one CFG node in source
+// order. The enclosing statement form decides whether a barrier's error is
+// consumed: an expression statement or an all-blank assignment discards it;
+// everything else (if-init assignment, return, condition) consumes it.
+func (c *checker) nodeEvents(n ast.Node) []event {
+	discarded := map[*ast.CallExpr]bool{}
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			discarded[call] = true
+		}
+	case *ast.AssignStmt:
+		allBlank := true
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+				allBlank = false
+			}
+		}
+		if allBlank {
+			for _, rhs := range s.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					discarded[call] = true
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred barrier runs after the result values are bound: it
+		// cannot turn a failed fsync into a non-nil return, so it neither
+		// clears pending nor counts as checked. Deferred appends do not
+		// occur in this codebase; skip the whole statement.
+		return nil
+	case *ast.GoStmt:
+		// A goroutine's durability is its own function's problem.
+		return nil
+	}
+
+	var evs []event
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if e, ok := c.classify(call, !discarded[call]); ok {
+			evs = append(evs, e)
+		}
+		return true
+	})
+	return evs
+}
+
+// classify maps a call to a durability event, if it is one.
+func (c *checker) classify(call *ast.CallExpr, checked bool) (event, bool) {
+	if isWALAppend(c.pass.TypesInfo, call) {
+		return event{call: call, kind: evAppend}, true
+	}
+	if local := c.cg.LocalCallee(call); local != nil {
+		switch {
+		case c.barrierFns[local]:
+			// A local wrapper that reaches a barrier (Tree.sync): the
+			// wrapper's own body is checked separately for discarding the
+			// fsync error, so the call site only needs its result consumed.
+			return event{call: call, kind: evBarrier, checked: checked}, true
+		case c.appendFns[local]:
+			// Appends transitively, never barriers: the pending bit
+			// transfers to this caller.
+			return event{call: call, kind: evAppend}, true
+		}
+		return event{}, false
+	}
+	if barrierNames[analysis.CallName(call)] {
+		return event{call: call, kind: evBarrier, checked: checked}, true
+	}
+	return event{}, false
+}
+
+// isSuccessReturn reports whether ret acknowledges success: its final
+// result is the predeclared nil. Returns that propagate an error (or a
+// call's results) are failure paths or delegate the decision.
+func isSuccessReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false // named results: out of scope for this check
+	}
+	id, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,16 @@
+package durabilityorder_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/durabilityorder"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/durabilityorder_bad", durabilityorder.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/durabilityorder_good", durabilityorder.Analyzer)
+}

@@ -1,0 +1,84 @@
+// Package durabilityorder_bad collects the forbidden shapes: acknowledging
+// a WAL append (returning nil) without an intervening fsync barrier, or
+// issuing the barrier and throwing its error away.
+package durabilityorder_bad
+
+import (
+	"pathcache/internal/disk"
+)
+
+type config struct {
+	Sync func() error
+}
+
+type writer struct {
+	wal *disk.ChainAppender
+	p   disk.Pager
+	cfg config
+}
+
+// ackWithoutBarrier returns success straight after the append: the record
+// may still be in the OS page cache when the caller moves on.
+func (w *writer) ackWithoutBarrier(rec []byte) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	return nil // want `successful return acknowledges a WAL append with no fsync barrier`
+}
+
+// syncOneBranchOnly barriers the slow path but acks the fast path raw.
+func (w *writer) syncOneBranchOnly(rec []byte, fast bool) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	if !fast {
+		if err := w.cfg.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil // want `successful return acknowledges a WAL append with no fsync barrier`
+}
+
+// dropSyncError issues the barrier but discards its result: a failed fsync
+// acks a write that never reached the platter.
+func (w *writer) dropSyncError(rec []byte) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	w.cfg.Sync() // want `durability barrier error discarded while a WAL append is pending`
+	return nil
+}
+
+// blankSyncError is the same bug spelled with a blank assignment.
+func (w *writer) blankSyncError(rec []byte) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	_ = w.cfg.Sync() // want `durability barrier error discarded while a WAL append is pending`
+	return nil
+}
+
+// appendOnly delegates the ack decision to its caller (no nil return of its
+// own), so the pending append transfers to every call site.
+func (w *writer) appendOnly(rec []byte) error {
+	return w.wal.Append(w.p, rec)
+}
+
+// ackViaHelper acks a helper's append without a barrier of its own.
+func (w *writer) ackViaHelper(rec []byte) error {
+	if err := w.appendOnly(rec); err != nil {
+		return err
+	}
+	return nil // want `successful return acknowledges a WAL append with no fsync barrier`
+}
+
+// appendLoop leaks the pending bit out of the loop: the batch is acked with
+// no group barrier.
+func (w *writer) appendLoop(recs [][]byte) error {
+	for _, r := range recs {
+		if err := w.wal.Append(w.p, r); err != nil {
+			return err
+		}
+	}
+	return nil // want `successful return acknowledges a WAL append with no fsync barrier`
+}

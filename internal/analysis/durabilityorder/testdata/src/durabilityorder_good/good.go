@@ -1,0 +1,93 @@
+// Package durabilityorder_good exercises the approved shapes: barrier (with
+// the error checked) before every success return, barriers reached through
+// a package-local wrapper, error propagation, and a justified suppression.
+package durabilityorder_good
+
+import (
+	"fmt"
+
+	"pathcache/internal/disk"
+)
+
+type config struct {
+	Sync func() error
+}
+
+type writer struct {
+	wal *disk.ChainAppender
+	p   disk.Pager
+	cfg config
+}
+
+// sync wraps the config hook the way lsm.Tree.sync does; callers treating
+// it as a barrier is the call-graph summary at work.
+func (w *writer) sync() error {
+	if w.cfg.Sync == nil {
+		return nil
+	}
+	if err := w.cfg.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return nil
+}
+
+// ackAfterBarrier is the canonical append -> fsync -> ack sequence.
+func (w *writer) ackAfterBarrier(rec []byte) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// propagateSync returns the barrier's error directly: success implies the
+// fsync succeeded.
+func (w *writer) propagateSync(rec []byte) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	return w.cfg.Sync()
+}
+
+// groupCommit batches appends under one barrier — the shape appendLoop in
+// the bad fixture gets wrong.
+func (w *writer) groupCommit(recs [][]byte) error {
+	for _, r := range recs {
+		if err := w.wal.Append(w.p, r); err != nil {
+			return err
+		}
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// branchBarrier syncs on both arms before the shared ack.
+func (w *writer) branchBarrier(rec []byte, fast bool) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	if fast {
+		if err := w.cfg.Sync(); err != nil {
+			return err
+		}
+	} else {
+		if err := w.sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanctioned carries the mandatory justification for deferring the barrier
+// to a caller.
+func (w *writer) sanctioned(rec []byte) error {
+	if err := w.wal.Append(w.p, rec); err != nil {
+		return err
+	}
+	//pcvet:allow durabilityorder -- fixture mirror of a batched ack whose group barrier runs in the caller
+	return nil
+}

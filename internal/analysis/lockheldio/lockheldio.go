@@ -33,7 +33,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	tainted := ioTainted(pass)
+	// The package-local taint closure: functions whose bodies transitively
+	// perform pager I/O, via the shared call-graph summary layer.
+	tainted := analysis.NewCallGraph(pass.TypesInfo, pass.Files).Taint(func(call *ast.CallExpr) bool {
+		return analysis.IsPagerIO(analysis.CalleeOf(pass.TypesInfo, call))
+	})
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -45,48 +49,6 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
-}
-
-// ioTainted computes the set of package-local functions and methods whose
-// bodies (transitively, within the package) perform pager I/O.
-func ioTainted(pass *analysis.Pass) map[*types.Func]bool {
-	bodies := map[*types.Func]*ast.BlockStmt{}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					bodies[fn] = fd.Body
-				}
-			}
-		}
-	}
-	tainted := map[*types.Func]bool{}
-	for changed := true; changed; {
-		changed = false
-		for fn, body := range bodies {
-			if tainted[fn] {
-				continue
-			}
-			found := false
-			ast.Inspect(body, func(n ast.Node) bool {
-				if found {
-					return false
-				}
-				if call, ok := n.(*ast.CallExpr); ok {
-					callee := analysis.CalleeOf(pass.TypesInfo, call)
-					if analysis.IsPagerIO(callee) || tainted[callee] {
-						found = true
-					}
-				}
-				return true
-			})
-			if found {
-				tainted[fn] = true
-				changed = true
-			}
-		}
-	}
-	return tainted
 }
 
 // lockSet maps a lock's receiver expression (printed form) to the position

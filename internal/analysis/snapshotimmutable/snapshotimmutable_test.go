@@ -1,0 +1,16 @@
+package snapshotimmutable_test
+
+import (
+	"testing"
+
+	"pathcache/internal/analysis/analysistest"
+	"pathcache/internal/analysis/snapshotimmutable"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/snapshotimmutable_bad", snapshotimmutable.Analyzer)
+}
+
+func TestSanctionedPatterns(t *testing.T) {
+	analysistest.NoDiagnostics(t, "testdata/src/snapshotimmutable_good", snapshotimmutable.Analyzer)
+}

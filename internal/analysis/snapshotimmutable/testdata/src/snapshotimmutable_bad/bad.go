@@ -1,0 +1,73 @@
+// Package snapshotimmutable_bad collects in-place mutations of values
+// derived from //pcvet:snapshot fields — each one a torn read waiting to
+// happen in a lock-free snapshot reader.
+package snapshotimmutable_bad
+
+import "sort"
+
+type level struct {
+	slot int
+	n    int
+}
+
+type tree struct {
+	//pcvet:snapshot
+	levels []*level
+	//pcvet:snapshot
+	tombs map[int]bool
+	mem   map[int]int
+}
+
+// storeElement writes a slice element readers may be iterating.
+func (t *tree) storeElement(lv *level) {
+	t.levels[lv.slot] = lv // want `store into t\.levels`
+}
+
+// appendInPlace may write into the snapshot's backing array when capacity
+// allows, clobbering an element under a reader.
+func (t *tree) appendInPlace(lv *level) {
+	t.levels = append(t.levels, lv) // want `append to t\.levels`
+}
+
+// mutateThroughLocal launders the field through a local binding first.
+func (t *tree) mutateThroughLocal(lv *level) {
+	ls := t.levels
+	ls[0] = lv // want `store into ls`
+}
+
+// mutateElementField writes a field of a struct the snapshot points at.
+func (t *tree) mutateElementField() {
+	for _, lv := range t.levels {
+		lv.n++ // want `increment of lv`
+	}
+}
+
+// deleteTomb shrinks the shared tombstone map under readers.
+func (t *tree) deleteTomb(k int) {
+	delete(t.tombs, k) // want `delete from t\.tombs`
+}
+
+// storeTomb grows it.
+func (t *tree) storeTomb(k int) {
+	t.tombs[k] = true // want `store into t\.tombs`
+}
+
+// sortSnapshot reorders the shared backing array in place.
+func (t *tree) sortSnapshot() {
+	sort.Slice(t.levels, func(i, j int) bool { // want `in-place sort of t\.levels`
+		return t.levels[i].slot < t.levels[j].slot
+	})
+}
+
+// zero blanks a slice it is handed; passing a snapshot into it mutates the
+// snapshot two frames down.
+func zero(ls []*level) {
+	for i := range ls {
+		ls[i] = nil // flagged only at tainted call sites via the summary
+	}
+}
+
+// clearViaHelper reaches the mutation through the package-local helper.
+func (t *tree) clearViaHelper() {
+	zero(t.levels) // want `call mutating t\.levels`
+}

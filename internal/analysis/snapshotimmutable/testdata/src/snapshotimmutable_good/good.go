@@ -1,0 +1,74 @@
+// Package snapshotimmutable_good exercises the copy-on-write shapes the
+// marker demands: read freely, build fresh, install wholesale.
+package snapshotimmutable_good
+
+import "sort"
+
+type level struct {
+	slot int
+	n    int
+}
+
+type tree struct {
+	//pcvet:snapshot
+	levels []*level
+	//pcvet:snapshot
+	tombs map[int]bool
+	mem   map[int]int
+}
+
+// install replaces the whole field: the sanctioned publish.
+func (t *tree) install(ls []*level) {
+	t.levels = ls
+}
+
+// copyThenMutate builds a fresh backing array before touching anything.
+func (t *tree) copyThenMutate(lv *level) {
+	ls := make([]*level, len(t.levels)+1)
+	copy(ls, t.levels)
+	ls[len(ls)-1] = lv
+	t.levels = ls
+}
+
+// rebuildTombs replaces the map instead of deleting from it.
+func (t *tree) rebuildTombs(drop int) {
+	fresh := make(map[int]bool, len(t.tombs))
+	for k := range t.tombs {
+		if k != drop {
+			fresh[k] = true
+		}
+	}
+	t.tombs = fresh
+}
+
+// readOnly iterates and probes without writing.
+func (t *tree) readOnly(k int) int {
+	total := 0
+	for _, lv := range t.levels {
+		if lv != nil {
+			total += lv.n
+		}
+	}
+	if t.tombs[k] {
+		total--
+	}
+	return total
+}
+
+// sortCopy sorts a duplicate, leaving the snapshot's order intact.
+func (t *tree) sortCopy() []*level {
+	ls := append([]*level(nil), t.levels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].slot < ls[j].slot })
+	return ls
+}
+
+// unmarked fields stay freely mutable.
+func (t *tree) countMem(k int) {
+	t.mem[k]++
+}
+
+// sanctioned carries the justification for a deliberate in-place write.
+func (t *tree) sanctioned(lv *level) {
+	//pcvet:allow snapshotimmutable -- fixture mirror of a single-writer startup path before the snapshot is published
+	t.levels[lv.slot] = lv
+}

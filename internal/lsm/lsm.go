@@ -81,11 +81,17 @@ type Tree struct {
 	b          int // page capacity in points
 	flushEvery int
 
-	mu       sync.RWMutex
-	wal      *disk.ChainAppender
-	mem      map[record.Point]int // net memtable effect: +1 insert, -1 delete
-	memOps   int                  // raw WAL entries since the last flush
-	levels   []*levelState
+	mu     sync.RWMutex
+	wal    *disk.ChainAppender
+	mem    map[record.Point]int // net memtable effect: +1 insert, -1 delete
+	memOps int                  // raw WAL entries since the last flush
+	// levels and tombs are published as bare copy-on-write snapshots:
+	// CompactSnapshot reads them under RLock and then works lock-free, so
+	// writers must build a fresh value and install it wholesale — never
+	// mutate in place. pcvet's snapshotimmutable analyzer enforces this.
+	//pcvet:snapshot
+	levels []*levelState
+	//pcvet:snapshot
 	tombs    map[record.Point]bool
 	tombHead disk.PageID
 	tombPg   int
@@ -149,19 +155,21 @@ func Open(cfg Config, blob []byte) (*Tree, error) {
 	t.seq = m.seq
 	t.flushedN = int(m.liveN)
 	t.n = t.flushedN
+	var levels []*levelState
 	for _, lr := range m.levels {
 		lv, err := reopenLevel(p, cfg.Base, lr)
 		if err != nil {
 			return nil, err
 		}
-		for len(t.levels) <= lv.slot {
-			t.levels = append(t.levels, nil)
+		for len(levels) <= lv.slot {
+			levels = append(levels, nil)
 		}
-		if t.levels[lv.slot] != nil {
+		if levels[lv.slot] != nil {
 			return nil, fmt.Errorf("lsm: manifest names slot %d twice: %w", lv.slot, disk.ErrCorrupt)
 		}
-		t.levels[lv.slot] = lv
+		levels[lv.slot] = lv
 	}
+	t.levels = levels
 	t.tombHead, t.tombPg = m.tombHead, int(m.tombPages)
 	tombs, err := readTombChain(p, m.tombHead, int(m.tombCount))
 	if err != nil {
@@ -764,6 +772,9 @@ func (t *Tree) CompactSnapshot(p disk.Pager) (int, error) {
 	if t.seq != seq0 {
 		t.mu.Unlock()
 		if sealed != nil {
+			// The sealed level was built by this call and never named by any
+			// manifest: freeing it discards private work, not published state.
+			//pcvet:allow commitprotocol -- frees this call's own uncommitted pages on the stale path; no manifest references them
 			if ferr := freeLevel(p, sealed); ferr != nil {
 				return 0, ferr
 			}
