@@ -1,11 +1,11 @@
-# Mirrors .github/workflows/ci.yml: `make lint test fuzz-smoke crash`
-# locally is what CI runs remotely, so a green local run means a green
-# pipeline.
+# Mirrors .github/workflows/ci.yml: `make lint test fuzz-smoke crash
+# serve-smoke` locally is what CI runs remotely, so a green local run
+# means a green pipeline.
 
 GO ?= go
 BIN := bin
 
-.PHONY: all build test lint pcvet allowlist fuzz-smoke crash golden bench-json clean
+.PHONY: all build test lint pcvet allowlist fuzz-smoke crash golden bench-json serve-smoke clean
 
 all: build lint test
 
@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzChainReadWrite -fuzztime=10s
 	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzChainThroughPool -fuzztime=10s
 	$(GO) test ./internal/disk -run='^$$' -fuzz=FuzzFileStoreOpen -fuzztime=10s
+	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzServerRequestDecode -fuzztime=10s
 
 # The crash-consistency matrix: the every-write-point kill sweeps at the
 # store level and through every persisted index kind's public build path.
@@ -67,6 +68,17 @@ golden:
 # the engine's kind registry. -small keeps it a smoke run.
 bench-json:
 	$(GO) run ./cmd/pcbench -json bench -small
+
+# The serving-layer proof battery over a real listener: boots pcserve's
+# smoke test (run() + SIGHUP reload + SIGTERM drain), then drives the
+# closed-loop load test (uniform and Zipf mixes from internal/workload)
+# and writes BENCH_serve.json — p50/p99 latency plus EXACT per-op I/O
+# summed from each response's op-scoped counters. Mirrors the CI
+# serve-smoke job, which uploads BENCH_serve.json as an artifact.
+serve-smoke:
+	$(GO) test ./cmd/pcserve -run TestServeSmokeAndSignals -v
+	PCSERVE_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test ./internal/server -run TestServeLoadBench -v
 
 clean:
 	rm -rf $(BIN)

@@ -249,6 +249,27 @@ func (si *StabbingIndex) StabBatch(qs []int64, workers int) ([][]Interval, Batch
 	return out, st, err
 }
 
+// WindowQuery is one 4-sided query {x1 <= X <= x2, y1 <= Y <= y2} for
+// WindowIndex.QueryBatch.
+type WindowQuery struct{ X1, X2, Y1, Y2 int64 }
+
+// QueryBatch answers every window query concurrently; out[i] matches qs[i].
+func (ix *WindowIndex) QueryBatch(qs []WindowQuery, workers int) ([][]Point, BatchStats, error) {
+	out := make([][]Point, len(qs))
+	st, err := runBatch(ix.be, ix.Kind(), "query", ix.idx.Len(), len(qs), workers, boundFor(kindWindow), func(p disk.Pager) func(i int) (int, error) {
+		view := ix.idx.WithPager(p)
+		return func(i int) (int, error) {
+			pts, _, err := view.Query(qs[i].X1, qs[i].X2, qs[i].Y1, qs[i].Y2)
+			if err != nil {
+				return 0, err
+			}
+			out[i] = fromRecPoints(pts)
+			return len(out[i]), nil
+		}
+	})
+	return out, st, err
+}
+
 // SearchBatch looks up every key concurrently; out[i] holds the values
 // stored under keys[i]. No Insert or Delete may run during the batch.
 func (ix *RangeIndex) SearchBatch(keys []int64, workers int) ([][]uint64, BatchStats, error) {

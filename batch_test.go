@@ -239,7 +239,7 @@ func TestBatchWorkerClamping(t *testing.T) {
 // index, regardless of scheduling, and the index stays usable afterwards.
 func TestBatchErrorPropagation(t *testing.T) {
 	var fp *disk.FaultPager
-	opts := &Options{PageSize: 512, testWrapPager: func(p disk.Pager) disk.Pager {
+	opts := &Options{PageSize: 512, WrapPager: func(p disk.Pager) disk.Pager {
 		fp = disk.NewFaultPager(p, 1<<40)
 		return fp
 	}}

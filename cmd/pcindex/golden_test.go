@@ -76,6 +76,8 @@ func TestGoldenOutput(t *testing.T) {
 		{"stats", "-in", filepath.Join(dir, "win.pc")},
 		{"stats", "-in", filepath.Join(dir, "dyn.pc")},
 		{"stats", "-in", filepath.Join(dir, "dynstab.pc")},
+		{"stats", "-serve", "-in", filepath.Join(dir, "two.pc")},
+		{"stats", "-serve", "-in", filepath.Join(dir, "dyn.pc")},
 	}
 
 	var b strings.Builder

@@ -32,6 +32,12 @@
 //
 //	pcindex stats -in pts.pc
 //
+// With -serve the same snapshot is rendered in the text exposition format
+// a running pcserve publishes on /metrics, so the golden transcript pins
+// the server-side series names and exact counts without booting a listener:
+//
+//	pcindex stats -serve -in pts.pc
+//
 // Check integrity (every page and free-list stub against its checksum —
 // the post-crash health check):
 //
@@ -48,6 +54,7 @@ import (
 	"strings"
 
 	"pathcache"
+	"pathcache/internal/server"
 )
 
 func main() {
@@ -420,6 +427,7 @@ func runInfo(args []string) error {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "index file")
+	serve := fs.Bool("serve", false, "render the snapshot in pcserve's /metrics exposition format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -437,6 +445,10 @@ func runStats(args []string) error {
 		return err
 	}
 	m := o.ix.Metrics()
+	if *serve {
+		server.WriteIndexMetrics(os.Stdout, m)
+		return nil
+	}
 	fmt.Printf("kind: %s\nprobe: %d results\n", o.kind, results)
 	fmt.Printf("inflight: %d\nseries: %d\n", m.Inflight, len(m.Ops))
 	for _, s := range m.Ops {

@@ -46,9 +46,11 @@ var indexPackages = []string{
 // encoderPackages hold fixed-width record layouts or node-payload encoders.
 var encoderPackages = append([]string{"internal/record", "internal/disk"}, indexPackages...)
 
-// lockPackages hold the sharded pool and the parallel batch engine. The
-// bare module path is the root pathcache package (batch.go).
-var lockPackages = []string{"internal/disk", "pathcache"}
+// lockPackages hold the sharded pool, the parallel batch engine, and the
+// serving layer (whose snapshot handles and admission gates must never hold
+// a lock across store I/O). The bare module path is the root pathcache
+// package (batch.go, handle.go).
+var lockPackages = []string{"internal/disk", "internal/server", "pathcache"}
 
 // obsExempt are the sanctioned metric-recording seams; obsdiscipline runs
 // on every other package (the analyzer also self-gates, so the fixture

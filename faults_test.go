@@ -21,7 +21,7 @@ type faultIndex struct {
 func newFaultOptions(fp **disk.FaultPager) *Options {
 	return &Options{
 		PageSize: 512,
-		testWrapPager: func(p disk.Pager) disk.Pager {
+		WrapPager: func(p disk.Pager) disk.Pager {
 			*fp = disk.NewFaultPager(p, 1<<40)
 			return *fp
 		},
@@ -95,7 +95,7 @@ func TestPublicFaultInjection(t *testing.T) {
 				t.Fatal(err)
 			}
 			if fp == nil {
-				t.Fatal("testWrapPager hook never ran")
+				t.Fatal("WrapPager hook never ran")
 			}
 			// Fault-free reference, and the per-query operation count.
 			before := fp.Remaining()
@@ -153,7 +153,7 @@ func TestPublicBuildFaultInjection(t *testing.T) {
 	for name, build := range builders {
 		t.Run(name, func(t *testing.T) {
 			for _, budget := range []int64{0, 1, 5, 50} {
-				opts := &Options{PageSize: 512, testWrapPager: func(p disk.Pager) disk.Pager {
+				opts := &Options{PageSize: 512, WrapPager: func(p disk.Pager) disk.Pager {
 					return disk.NewFaultPager(p, budget)
 				}}
 				if err := build(opts); !errors.Is(err, disk.ErrInjected) {

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Serve-side series: the metric surface of the network serving layer
+// (internal/server). These are built on the standalone primitives —
+// Counter, Gauge, Histogram — and deliberately NOT on Registry: a store's
+// Registry records index operations with exact op-scoped I/O, while these
+// series record HTTP request lifecycles (admission decisions, status
+// codes, latencies). Keeping the two apart preserves the invariant the
+// concurrency tests pin (per-op histogram sums equal the store-level
+// Stats diff) and keeps internal/server inside the obsdiscipline
+// analyzer's rules.
+
+// ServeSeries aggregates one server endpoint's request outcomes: a counter
+// per status class, a log₂ latency distribution in microseconds, and the
+// result sizes served. The zero value is NOT ready — use NewServeSet.
+type ServeSeries struct {
+	requests  Counter
+	failures  Counter // status >= 400
+	results   Counter
+	latencyUS Histogram
+}
+
+// ServeSet is a concurrent map of endpoint name to ServeSeries plus the
+// server-wide admission counters. All methods are safe for concurrent use.
+type ServeSet struct {
+	mu     sync.RWMutex
+	series map[string]*ServeSeries
+
+	// Admission outcomes, server-wide: requests turned away before any
+	// store work happened.
+	QuotaDenials    Counter // 429: per-client token bucket empty
+	OverloadDenials Counter // 429: max-inflight ceiling hit
+	DrainDenials    Counter // 503: received while draining
+	Inflight        Gauge   // requests between admission and response
+}
+
+// NewServeSet returns an empty serve-side metric set.
+func NewServeSet() *ServeSet {
+	return &ServeSet{series: make(map[string]*ServeSeries)}
+}
+
+// Observe records one completed request against endpoint: its HTTP status,
+// result count and latency. hint spreads counter stripes (pass anything
+// cheap and varied, e.g. a sequence number).
+func (s *ServeSet) Observe(endpoint string, status int, results int, d time.Duration, hint uint64) {
+	sr := s.seriesFor(endpoint)
+	sr.requests.Add(hint, 1)
+	if status >= 400 {
+		sr.failures.Add(hint, 1)
+	}
+	sr.results.Add(hint, int64(results))
+	sr.latencyUS.Observe(d.Microseconds())
+}
+
+func (s *ServeSet) seriesFor(endpoint string) *ServeSeries {
+	s.mu.RLock()
+	sr := s.series[endpoint]
+	s.mu.RUnlock()
+	if sr != nil {
+		return sr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sr = s.series[endpoint]; sr == nil {
+		sr = &ServeSeries{}
+		s.series[endpoint] = sr
+	}
+	return sr
+}
+
+// ServeSeriesSnapshot is the point-in-time state of one endpoint's series.
+type ServeSeriesSnapshot struct {
+	Endpoint  string
+	Requests  int64
+	Failures  int64
+	Results   int64
+	LatencyUS HistSnapshot
+}
+
+// ServeSnapshot copies the whole serve-side metric surface.
+type ServeSnapshot struct {
+	QuotaDenials    int64
+	OverloadDenials int64
+	DrainDenials    int64
+	Inflight        int64
+	Endpoints       []ServeSeriesSnapshot // sorted by endpoint name
+}
+
+// Snapshot copies every endpoint series plus the admission counters,
+// endpoints sorted by name for deterministic rendering.
+func (s *ServeSet) Snapshot() ServeSnapshot {
+	out := ServeSnapshot{
+		QuotaDenials:    s.QuotaDenials.Total(),
+		OverloadDenials: s.OverloadDenials.Total(),
+		DrainDenials:    s.DrainDenials.Total(),
+		Inflight:        s.Inflight.Load(),
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		s.mu.RLock()
+		sr := s.series[name]
+		s.mu.RUnlock()
+		out.Endpoints = append(out.Endpoints, ServeSeriesSnapshot{
+			Endpoint:  name,
+			Requests:  sr.requests.Total(),
+			Failures:  sr.failures.Total(),
+			Results:   sr.results.Total(),
+			LatencyUS: sr.latencyUS.Snapshot(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"pathcache"
+)
+
+// The wire protocol: every operation is a POST with a small JSON body and
+// a JSON response. Decoding is strict — unknown fields, trailing garbage,
+// oversized bodies and oversized batches are all 4xx, decided before any
+// store work happens — so a malformed request can never reach the index
+// (FuzzServerRequestDecode pins exactly that).
+
+// apiError is the typed failure every handler returns: an HTTP status, a
+// stable machine-readable code, and a human-readable message. Every
+// failure mode of the service maps onto one — a request either succeeds
+// or carries a typed error, never a wrong answer.
+type apiError struct {
+	Status     int    `json:"-"`
+	Code       string `json:"code"`
+	Message    string `json:"error"`
+	RetryAfter int    `json:"-"` // seconds; emitted as a Retry-After header when > 0
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// The error codes the service emits. Tests assert on these, so they are
+// part of the wire contract.
+const (
+	codeBadRequest       = "bad_request"        // 400: malformed body, unknown fields, bad ranges
+	codeBatchTooLarge    = "batch_too_large"    // 400: batch above Config.MaxBatch
+	codeUnsupportedShape = "unsupported_shape"  // 400: operation the index kind cannot answer
+	codeReadOnlyKind     = "read_only_kind"     // 400: write op against a static kind
+	codeNotFound         = "not_found"          // 404: unknown route
+	codeMethodNotAllowed = "method_not_allowed" // 405
+	codeQuotaExhausted   = "quota_exhausted"    // 429: per-client token bucket empty
+	codeOverloaded       = "overloaded"         // 429: max-inflight ceiling hit
+	codeDraining         = "draining"           // 503: received during graceful drain
+	codeClosed           = "closed"             // 503: handle closed underneath the server
+	codeDeadlineExceeded = "deadline_exceeded"  // 504: per-request deadline expired
+	codeStoreFault       = "store_fault"        // 500: the store failed mid-request
+	codeBoundExceeded    = "bound_exceeded"     // 500: strict theorem-bound sentinel tripped
+	codeReloadFailed     = "reload_failed"      // 500: hot reload could not open the file
+)
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: codeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+func errUnsupported(kind, op string) *apiError {
+	return &apiError{
+		Status:  http.StatusBadRequest,
+		Code:    codeUnsupportedShape,
+		Message: fmt.Sprintf("index kind %q does not answer %s", kind, op),
+	}
+}
+
+// mapStoreErr converts an index operation's failure to its typed wire
+// error. The distinction matters to clients: a bound breach is a sentinel
+// tripping on a correct answer, a store fault is an I/O failure whose
+// request must not be trusted.
+func mapStoreErr(err error) *apiError {
+	if errors.Is(err, pathcache.ErrBoundExceeded) {
+		return &apiError{Status: http.StatusInternalServerError, Code: codeBoundExceeded, Message: err.Error()}
+	}
+	if errors.Is(err, pathcache.ErrHandleClosed) {
+		return &apiError{Status: http.StatusServiceUnavailable, Code: codeClosed, Message: err.Error()}
+	}
+	return &apiError{Status: http.StatusInternalServerError, Code: codeStoreFault, Message: err.Error()}
+}
+
+// decodeStrict decodes body into v: unknown fields, trailing data and
+// syntax errors are all bad_request. An empty body decodes the zero value
+// (so bodyless POSTs to /v1/flush and friends work).
+func decodeStrict(body []byte, v any) *apiError {
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return errBadRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// readBody reads at most max bytes of the request body; one byte over is
+// bad_request without reading further.
+func readBody(r *http.Request, max int64) ([]byte, *apiError) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, max+1))
+	if err != nil {
+		return nil, errBadRequest("reading request body: %v", err)
+	}
+	if int64(len(body)) > max {
+		return nil, errBadRequest("request body exceeds %d bytes", max)
+	}
+	return body, nil
+}
+
+// Request shapes. Required fields are pointers so "absent" and "zero" are
+// distinguishable — a 2-sided query for the origin corner is {"a":0,"b":0},
+// while {} is a 400.
+
+// queryReq covers /v1/query for both 2-sided ({a, b}) and 3-sided
+// ({a1, a2, b}) kinds; the handler enforces the shape its kind answers.
+type queryReq struct {
+	A  *int64 `json:"a,omitempty"`
+	B  *int64 `json:"b,omitempty"`
+	A1 *int64 `json:"a1,omitempty"`
+	A2 *int64 `json:"a2,omitempty"`
+}
+
+type windowReq struct {
+	X1 *int64 `json:"x1"`
+	X2 *int64 `json:"x2"`
+	Y1 *int64 `json:"y1"`
+	Y2 *int64 `json:"y2"`
+}
+
+// validate checks presence and range order; a window with x1 > x2 is a
+// malformed range, not an empty result.
+func (q *windowReq) validate() *apiError {
+	if q.X1 == nil || q.X2 == nil || q.Y1 == nil || q.Y2 == nil {
+		return errBadRequest("window query needs x1, x2, y1, y2")
+	}
+	if *q.X1 > *q.X2 || *q.Y1 > *q.Y2 {
+		return errBadRequest("malformed window: need x1 <= x2 and y1 <= y2")
+	}
+	return nil
+}
+
+type stabReq struct {
+	Q *int64 `json:"q"`
+}
+
+// recordReq names one exact record — the write-path identity and the
+// /v1/search probe target.
+type recordReq struct {
+	X  *int64  `json:"x"`
+	Y  *int64  `json:"y"`
+	ID *uint64 `json:"id"`
+}
+
+func (q *recordReq) validate() *apiError {
+	if q.X == nil || q.Y == nil || q.ID == nil {
+		return errBadRequest("record needs x, y, id")
+	}
+	return nil
+}
+
+func (q *recordReq) point() pathcache.Point {
+	return pathcache.Point{X: *q.X, Y: *q.Y, ID: *q.ID}
+}
+
+type queryBatchReq struct {
+	Queries []queryReq `json:"queries"`
+	Workers int        `json:"workers,omitempty"`
+}
+
+type windowBatchReq struct {
+	Queries []windowReq `json:"queries"`
+	Workers int         `json:"workers,omitempty"`
+}
+
+type stabBatchReq struct {
+	Qs      []int64 `json:"qs"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+type compactReq struct {
+	Background bool `json:"background,omitempty"`
+}
+
+// Response shapes.
+
+type pointJSON struct {
+	X  int64  `json:"x"`
+	Y  int64  `json:"y"`
+	ID uint64 `json:"id"`
+}
+
+type intervalJSON struct {
+	Lo int64  `json:"lo"`
+	Hi int64  `json:"hi"`
+	ID uint64 `json:"id"`
+}
+
+// ioJSON is the per-request exact I/O attribution: the op-scoped counter's
+// page transfers, never a global diff, so load tests can sum per-op counts
+// straight off the responses.
+type ioJSON struct {
+	Reads     int64   `json:"reads"`
+	Writes    int64   `json:"writes"`
+	CacheHits int64   `json:"cache_hits"`
+	Bound     float64 `json:"bound,omitempty"`
+	Ratio     float64 `json:"ratio,omitempty"`
+}
+
+func ioOf(p pathcache.IOProfile) ioJSON {
+	return ioJSON{Reads: p.Reads, Writes: p.Writes, CacheHits: p.CacheHits, Bound: p.Bound, Ratio: p.BoundRatio}
+}
+
+func ioOfBatch(st pathcache.BatchStats) ioJSON {
+	return ioJSON{Reads: st.Reads, Writes: st.Writes, CacheHits: st.CacheHits}
+}
+
+type queryResponse struct {
+	Count     int            `json:"count"`
+	Points    []pointJSON    `json:"points,omitempty"`
+	Intervals []intervalJSON `json:"intervals,omitempty"`
+	IO        ioJSON         `json:"io"`
+}
+
+type searchResponse struct {
+	Found bool   `json:"found"`
+	IO    ioJSON `json:"io"`
+}
+
+type batchResponse struct {
+	Queries   int              `json:"queries"`
+	Workers   int              `json:"workers"`
+	Results   int              `json:"results"`
+	Points    [][]pointJSON    `json:"point_results,omitempty"`
+	Intervals [][]intervalJSON `json:"interval_results,omitempty"`
+	IO        ioJSON           `json:"io"`
+}
+
+type updateResponse struct {
+	Records int    `json:"records"`
+	IO      ioJSON `json:"io"`
+}
+
+type okResponse struct {
+	OK         bool `json:"ok"`
+	Background bool `json:"background,omitempty"`
+}
+
+func toPointsJSON(pts []pathcache.Point) []pointJSON {
+	out := make([]pointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = pointJSON{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	return out
+}
+
+func toIntervalsJSON(ivs []pathcache.Interval) []intervalJSON {
+	out := make([]intervalJSON, len(ivs))
+	for i, iv := range ivs {
+		out[i] = intervalJSON{Lo: iv.Lo, Hi: iv.Hi, ID: iv.ID}
+	}
+	return out
+}

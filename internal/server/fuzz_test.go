@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pathcache"
+	"pathcache/internal/disk"
+)
+
+// FuzzServerRequestDecode throws arbitrary bodies at every decoding
+// endpoint. The contract under fuzz: the server never panics, answers
+// every malformed request with a 4xx, and — the load-bearing half — a
+// rejected request performs ZERO store I/O: admission and validation run
+// strictly before the index is touched.
+func FuzzServerRequestDecode(f *testing.F) {
+	endpoints := []string{
+		"/v1/query", "/v1/query/batch", "/v1/window", "/v1/window/batch",
+		"/v1/stab", "/v1/stab/batch", "/v1/search", "/v1/insert",
+		"/v1/delete", "/v1/flush", "/v1/compact", "/admin/reload",
+	}
+
+	var pagerOps atomic.Int64
+	path := filepath.Join(f.TempDir(), "fuzz.pc")
+	ix, err := pathcache.NewTwoSidedIndex(fixturePoints(64), pathcache.SchemeSegmented, &pathcache.Options{
+		PageSize: 512,
+		Path:     path,
+		WrapPager: func(p disk.Pager) disk.Pager {
+			return countingPager{p, &pagerOps}
+		},
+	})
+	if err != nil {
+		f.Fatalf("build: %v", err)
+	}
+	handle := pathcache.NewHandle(path, ix)
+	defer handle.Close()
+	srv := New(handle, Config{MaxBodyBytes: 1 << 16, MaxBatch: 64})
+	h := srv.Handler()
+
+	f.Add(uint8(0), `{"a": 1, "b": 2}`)
+	f.Add(uint8(0), `{"a1": 1, "a2": 2, "b": 3}`)
+	f.Add(uint8(1), `{"queries": [{"a": 1, "b": 2}], "workers": 2}`)
+	f.Add(uint8(1), `{"queries": [`+strings.Repeat(`{"a":1,"b":2},`, 100)+`{"a":1,"b":2}]}`)
+	f.Add(uint8(2), `{"x1": 0, "x2": -5, "y1": 3, "y2": 1}`)
+	f.Add(uint8(4), `{"q": 9}`)
+	f.Add(uint8(6), `{"x": 1, "y": 2, "id": 3}`)
+	f.Add(uint8(7), `{"x": 9223372036854775807, "y": -9223372036854775808, "id": 18446744073709551615}`)
+	f.Add(uint8(0), `{"a": 1, "b": 2} trailing`)
+	f.Add(uint8(0), `{"a": null, "b": 2}`)
+	f.Add(uint8(0), `[[[[[[`)
+	f.Add(uint8(10), `{"background": true}`)
+	f.Add(uint8(5), strings.Repeat("9", 1<<10))
+
+	f.Fuzz(func(t *testing.T, which uint8, body string) {
+		path := endpoints[int(which)%len(endpoints)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+		rec := httptest.NewRecorder()
+
+		before := pagerOps.Load()
+		h.ServeHTTP(rec, req) // must not panic
+		status := rec.Code
+
+		switch {
+		case status >= 200 && status < 300:
+			// A well-formed request against the right kind; fine.
+		case status >= 400 && status < 500:
+			// Rejected: the store must not have been touched.
+			if after := pagerOps.Load(); after != before {
+				t.Fatalf("%s rejected with %d but performed %d pager ops on body %q",
+					path, status, after-before, body)
+			}
+		default:
+			t.Fatalf("%s answered %d on body %q; want 2xx or 4xx", path, status, body)
+		}
+	})
+}
+
+// countingPager counts every pager operation that reaches the store.
+type countingPager struct {
+	disk.Pager
+	ops *atomic.Int64
+}
+
+func (c countingPager) Read(id disk.PageID, buf []byte) error {
+	c.ops.Add(1)
+	return c.Pager.Read(id, buf)
+}
+
+func (c countingPager) Write(id disk.PageID, buf []byte) error {
+	c.ops.Add(1)
+	return c.Pager.Write(id, buf)
+}
+
+func (c countingPager) Alloc() (disk.PageID, error) {
+	c.ops.Add(1)
+	return c.Pager.Alloc()
+}
+
+func (c countingPager) Free(id disk.PageID) error {
+	c.ops.Add(1)
+	return c.Pager.Free(id)
+}

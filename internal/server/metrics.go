@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"pathcache"
+	"pathcache/internal/obs"
+)
+
+// /metrics renders both metric surfaces in text exposition format:
+//
+//   - pcserve_* — the serving layer's own series (request counts, failure
+//     counts, latency distributions, admission denials), per endpoint;
+//   - pathcache_* — every (kind, op, worker) series the store's obs
+//     registry recorded, with exact per-op I/O sums and the theorem
+//     bound-ratio buckets.
+//
+// Both writers render series in sorted order with counts, sums and buckets
+// only — no wall-clock-dependent values in the pathcache_* section — so a
+// deterministic load produces a byte-identical index dump (cmd/pcindex's
+// golden transcript pins exactly that via `stats -serve`).
+
+// WriteServeMetrics renders the serving layer's snapshot.
+func WriteServeMetrics(w io.Writer, s obs.ServeSnapshot) {
+	fmt.Fprintf(w, "pcserve_quota_denials_total %d\n", s.QuotaDenials)
+	fmt.Fprintf(w, "pcserve_overload_denials_total %d\n", s.OverloadDenials)
+	fmt.Fprintf(w, "pcserve_drain_denials_total %d\n", s.DrainDenials)
+	fmt.Fprintf(w, "pcserve_inflight %d\n", s.Inflight)
+	for _, e := range s.Endpoints {
+		fmt.Fprintf(w, "pcserve_requests_total{endpoint=%q} %d\n", e.Endpoint, e.Requests)
+		fmt.Fprintf(w, "pcserve_failures_total{endpoint=%q} %d\n", e.Endpoint, e.Failures)
+		fmt.Fprintf(w, "pcserve_results_total{endpoint=%q} %d\n", e.Endpoint, e.Results)
+		writeHist(w, "pcserve_latency_us", fmt.Sprintf("endpoint=%q", e.Endpoint), hist(e.LatencyUS))
+	}
+}
+
+// WriteIndexMetrics renders the store-side snapshot. Exported so
+// cmd/pcindex's `stats -serve` prints the identical exposition a running
+// pcserve would, letting the golden transcript pin the series names and
+// exact counts without booting a listener.
+func WriteIndexMetrics(w io.Writer, m pathcache.Metrics) {
+	fmt.Fprintf(w, "pathcache_inflight %d\n", m.Inflight)
+	for _, op := range m.Ops {
+		labels := fmt.Sprintf("kind=%q,op=%q,worker=%q", op.Kind, op.Name, workerLabel(op.Worker))
+		fmt.Fprintf(w, "pathcache_op_ops_total{%s} %d\n", labels, op.Ops)
+		fmt.Fprintf(w, "pathcache_op_results_total{%s} %d\n", labels, op.Results)
+		writeHist(w, "pathcache_op_reads", labels, op.Reads)
+		writeHist(w, "pathcache_op_writes", labels, op.Writes)
+		writeHist(w, "pathcache_op_cache_hits", labels, op.CacheHits)
+		if op.BoundRatios.Count > 0 {
+			writeHist(w, "pathcache_op_bound_ratio_pct", labels, op.BoundRatios)
+			fmt.Fprintf(w, "pathcache_op_bound_ratio_max{%s} %.2f\n", labels, op.MaxBoundRatio)
+		}
+	}
+}
+
+// writeHist renders one log₂ histogram: cumulative le-labeled buckets in
+// the exposition idiom, then the exact count and sum.
+func writeHist(w io.Writer, name, labels string, h pathcache.Histogram) {
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, leLabel(b.Hi), cum)
+	}
+	if len(h.Buckets) > 0 {
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	}
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, h.Sum)
+}
+
+func leLabel(hi int64) string {
+	if hi == math.MaxInt64 {
+		return "+Inf"
+	}
+	return strconv.FormatInt(hi, 10)
+}
+
+func workerLabel(w int) string {
+	if w == pathcache.SerialWorker {
+		return "serial"
+	}
+	return strconv.Itoa(w)
+}
+
+// hist converts an obs histogram snapshot to the public shape so both
+// writers share writeHist.
+func hist(s obs.HistSnapshot) pathcache.Histogram {
+	h := pathcache.Histogram{Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max}
+	for _, b := range s.Buckets {
+		h.Buckets = append(h.Buckets, pathcache.HistogramBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+	}
+	return h
+}

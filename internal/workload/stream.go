@@ -1,0 +1,152 @@
+package workload
+
+import "math/rand"
+
+// Per-worker query streams: the closed-loop drivers the server load tests
+// run want each concurrent worker to generate queries on the fly, forever,
+// without sharing a rand.Rand (rand.Rand is not safe for concurrent use,
+// and sharing one also destroys reproducibility — interleaving would
+// depend on scheduling). Every stream therefore owns a private generator
+// seeded by SubSeed(seed, worker): worker substreams are deterministic in
+// isolation, pairwise decorrelated, and safe to drive from as many
+// goroutines as there are streams.
+
+// SubSeed derives worker w's substream seed from a base seed via one
+// splitmix64 round — cheap, stateless, and avalanching, so adjacent worker
+// indexes land on decorrelated streams (seed+1 and seed+2 into rand's LFSR
+// would not).
+func SubSeed(seed int64, worker int) int64 {
+	z := uint64(seed) + uint64(worker+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Mix selects how a stream places its query corners over the key domain.
+type Mix int
+
+const (
+	// MixUniform spreads queries uniformly over the domain.
+	MixUniform Mix = iota
+	// MixZipf skews queries toward the low end of the domain with a
+	// Zipf(s=1.2) distribution — the hot-key traffic shape.
+	MixZipf
+)
+
+// String names the mix for report labels ("uniform", "zipf").
+func (m Mix) String() string {
+	if m == MixZipf {
+		return "zipf"
+	}
+	return "uniform"
+}
+
+// zipfFor builds the stream's skew generator over [0,max).
+func zipfFor(rng *rand.Rand, max int64) *rand.Zipf {
+	if max < 2 {
+		max = 2
+	}
+	return rand.NewZipf(rng, 1.2, 1, uint64(max-1))
+}
+
+// TwoSidedStream generates an endless sequence of 2-sided query corners
+// for one worker. Not safe for concurrent use — give each worker its own
+// stream via NewTwoSidedStream(…, worker).
+type TwoSidedStream struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	mix  Mix
+	max  int64
+	base int64
+}
+
+// NewTwoSidedStream returns worker w's substream of query corners over the
+// [0,max)^2 domain. MixUniform places corners so selectivity on uniform
+// data averages the given fraction (like TwoSidedQueries); MixZipf places
+// corners Zipf-skewed toward the origin, so most queries are large and a
+// few are tiny — the skewed traffic shape.
+func NewTwoSidedStream(mix Mix, max int64, selectivity float64, seed int64, worker int) *TwoSidedStream {
+	rng := rand.New(rand.NewSource(SubSeed(seed, worker)))
+	s := &TwoSidedStream{rng: rng, mix: mix, max: max}
+	if mix == MixZipf {
+		s.zipf = zipfFor(rng, max)
+	} else {
+		s.base = int64(float64(max) * (1 - sqrt(selectivity)))
+	}
+	return s
+}
+
+// Next returns the stream's next query corner.
+func (s *TwoSidedStream) Next() TwoSidedQuery {
+	if s.mix == MixZipf {
+		return TwoSidedQuery{
+			A: clampTo(int64(s.zipf.Uint64()), s.max),
+			B: clampTo(int64(s.zipf.Uint64()), s.max),
+		}
+	}
+	jx := s.rng.Int63n(s.max/64 + 1)
+	jy := s.rng.Int63n(s.max/64 + 1)
+	return TwoSidedQuery{A: clampTo(s.base+jx, s.max), B: clampTo(s.base+jy, s.max)}
+}
+
+// StabStream generates an endless sequence of stabbing points for one
+// worker. Not safe for concurrent use — one stream per worker.
+type StabStream struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	mix  Mix
+	max  int64
+}
+
+// NewStabStream returns worker w's substream of stabbing points over
+// [0,max): uniform, or Zipf-skewed toward 0.
+func NewStabStream(mix Mix, max int64, seed int64, worker int) *StabStream {
+	rng := rand.New(rand.NewSource(SubSeed(seed, worker)))
+	s := &StabStream{rng: rng, mix: mix, max: max}
+	if mix == MixZipf {
+		s.zipf = zipfFor(rng, max)
+	}
+	return s
+}
+
+// Next returns the stream's next stabbing point.
+func (s *StabStream) Next() int64 {
+	if s.mix == MixZipf {
+		return clampTo(int64(s.zipf.Uint64()), s.max)
+	}
+	return s.rng.Int63n(s.max)
+}
+
+// PointStream generates an endless sequence of unique points for one
+// writer worker: worker w emits IDs w+1, w+1+W, w+1+2W, … so concurrent
+// writers never collide on the (X, Y, ID) identity the write tier keys on.
+// Not safe for concurrent use — one stream per worker.
+type PointStream struct {
+	rng     *rand.Rand
+	max     int64
+	next    uint64
+	workers uint64
+}
+
+// NewPointStream returns writer w's substream over a pool of workers
+// total writers.
+func NewPointStream(max int64, seed int64, worker, workers int) *PointStream {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PointStream{
+		rng:     rand.New(rand.NewSource(SubSeed(seed, worker))),
+		max:     max,
+		next:    uint64(worker + 1),
+		workers: uint64(workers),
+	}
+}
+
+// Next returns the stream's next point; its ID is unique across all
+// streams drawn from the same worker pool.
+func (s *PointStream) Next() (x, y int64, id uint64) {
+	x, y = s.rng.Int63n(s.max), s.rng.Int63n(s.max)
+	id = s.next
+	s.next += s.workers
+	return x, y, id
+}

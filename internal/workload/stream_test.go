@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// The streams exist because the batch generators (TwoSidedQueries etc.)
+// hand out fixed slices from one rand.Rand — fine for static suites,
+// wrong for concurrent closed-loop drivers. These tests pin the stream
+// contract: per-worker determinism, pairwise decorrelation, cross-worker
+// ID uniqueness, and safety under concurrent use (this file runs under
+// -race via `make test`).
+
+func TestSubSeedDecorrelates(t *testing.T) {
+	seen := make(map[int64]int)
+	for w := 0; w < 1000; w++ {
+		s := SubSeed(7, w)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed(7, %d) == SubSeed(7, %d) == %d", w, prev, s)
+		}
+		seen[s] = w
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatalf("adjacent base seeds map to the same substream")
+	}
+}
+
+func TestStreamsDeterministicPerWorker(t *testing.T) {
+	for _, mix := range []Mix{MixUniform, MixZipf} {
+		a := NewTwoSidedStream(mix, 100_000, 0.05, 42, 3)
+		b := NewTwoSidedStream(mix, 100_000, 0.05, 42, 3)
+		other := NewTwoSidedStream(mix, 100_000, 0.05, 42, 4)
+		same, diff := true, false
+		for i := 0; i < 200; i++ {
+			qa, qb, qo := a.Next(), b.Next(), other.Next()
+			if qa != qb {
+				same = false
+			}
+			if qa != qo {
+				diff = true
+			}
+		}
+		if !same {
+			t.Fatalf("%v: same (seed, worker) diverged", mix)
+		}
+		if !diff {
+			t.Fatalf("%v: workers 3 and 4 emitted identical streams", mix)
+		}
+	}
+
+	sa, sb := NewStabStream(MixZipf, 100_000, 42, 1), NewStabStream(MixZipf, 100_000, 42, 1)
+	for i := 0; i < 200; i++ {
+		if sa.Next() != sb.Next() {
+			t.Fatalf("stab stream: same (seed, worker) diverged")
+		}
+	}
+}
+
+func TestStreamQueriesInDomain(t *testing.T) {
+	const max = 10_000
+	for _, mix := range []Mix{MixUniform, MixZipf} {
+		qs := NewTwoSidedStream(mix, max, 0.05, 9, 0)
+		st := NewStabStream(mix, max, 9, 0)
+		for i := 0; i < 500; i++ {
+			q := qs.Next()
+			if q.A < 0 || q.A >= max || q.B < 0 || q.B >= max {
+				t.Fatalf("%v query %d out of domain: %+v", mix, i, q)
+			}
+			if s := st.Next(); s < 0 || s >= max {
+				t.Fatalf("%v stab %d out of domain: %d", mix, i, s)
+			}
+		}
+	}
+}
+
+func TestPointStreamIDsUniqueAcrossWorkers(t *testing.T) {
+	const workers, perWorker = 8, 500
+	seen := make(map[uint64]int)
+	for w := 0; w < workers; w++ {
+		s := NewPointStream(10_000, 42, w, workers)
+		for i := 0; i < perWorker; i++ {
+			x, y, id := s.Next()
+			if x < 0 || x >= 10_000 || y < 0 || y >= 10_000 {
+				t.Fatalf("worker %d point %d out of domain: (%d, %d)", w, i, x, y)
+			}
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("ID %d emitted by both worker %d and worker %d", id, prev, w)
+			}
+			seen[id] = w
+		}
+	}
+}
+
+// TestStreamsConcurrent drives one stream per goroutine — the intended
+// concurrency model — under the race detector, and checks the results
+// match a serial replay of the same substreams.
+func TestStreamsConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 300
+	got := make([][]TwoSidedQuery, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewTwoSidedStream(MixZipf, 100_000, 0.05, 42, w)
+			qs := make([]TwoSidedQuery, perWorker)
+			for i := range qs {
+				qs[i] = s.Next()
+			}
+			got[w] = qs
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		s := NewTwoSidedStream(MixZipf, 100_000, 0.05, 42, w)
+		for i := 0; i < perWorker; i++ {
+			if q := s.Next(); q != got[w][i] {
+				t.Fatalf("worker %d query %d: concurrent %+v != serial %+v", w, i, got[w][i], q)
+			}
+		}
+	}
+}

@@ -94,9 +94,13 @@ type Options struct {
 	BoundMaxRatio float64
 	BoundSlack    float64
 
-	// testWrapPager, when set, wraps the pager every structure sees —
-	// the in-package test hook for fault injection through the public API.
-	testWrapPager func(disk.Pager) disk.Pager
+	// WrapPager, when set, wraps the pager every structure routes its page
+	// I/O through — the fault-injection seam the test batteries (including
+	// internal/server's) drive a disk.FaultPager through. The wrapper sees
+	// every read and write the index performs. Production use leaves it nil;
+	// external module users cannot name the internal disk.Pager type and
+	// should, too.
+	WrapPager func(disk.Pager) disk.Pager
 
 	// testFile, when set, backs the index with a FileStore created on this
 	// File instead of a real on-disk file — the in-package hook the
@@ -172,7 +176,7 @@ func newCore(opts *Options) (core, error) {
 			BufferPoolPages: opts.BufferPoolPages,
 			Path:            opts.Path,
 			File:            opts.testFile,
-			WrapPager:       opts.testWrapPager,
+			WrapPager:       opts.WrapPager,
 			StrictBounds:    opts.StrictBounds,
 			BoundMaxRatio:   opts.BoundMaxRatio,
 			BoundSlack:      opts.BoundSlack,
