@@ -57,6 +57,7 @@ crash:
 	$(GO) test ./internal/disk -run='TestCrashSweepStoreLevel|TestCrashFile|TestFileStore' -v
 	$(GO) test . -run='TestCrashSweepIndexes' -v
 	$(GO) test . -run='TestCrashSweepLSM' -v
+	$(GO) test . -run='TestCrashSweepShardMap|TestCrashSweepShardStore' -v
 
 # Regenerate cmd/pcindex's golden CLI transcript after an intentional
 # output change; review the diff before committing.

@@ -2,12 +2,14 @@
 // benchmark reports the I/O metrics the paper's bounds speak about —
 // page reads per operation — next to Go's time/op. Regenerate the full
 // tables with: go run ./cmd/pcbench
-package pathcache
+package pathcache_test
 
 import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"pathcache"
 
 	"pathcache/internal/bench"
 	"pathcache/internal/disk"
@@ -276,11 +278,11 @@ func BenchmarkE8BTreeBaseline(b *testing.B) {
 
 // Public API overhead check: quickstart-style usage through pathcache.
 func BenchmarkPublicTwoSidedQuery(b *testing.B) {
-	pts := make([]Point, benchN)
+	pts := make([]pathcache.Point, benchN)
 	for i, p := range benchPts() {
-		pts[i] = Point(p)
+		pts[i] = pathcache.Point(p)
 	}
-	ix, err := NewTwoSidedIndex(pts, SchemeTwoLevel, &Options{PageSize: benchPage})
+	ix, err := pathcache.NewTwoSidedIndex(pts, pathcache.SchemeTwoLevel, &pathcache.Options{PageSize: benchPage})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -302,18 +304,18 @@ func BenchmarkPublicTwoSidedQuery(b *testing.B) {
 // proportionally faster; see pcbench -exp p1 for the latency-simulated
 // throughput ladder).
 func BenchmarkPublicQueryBatch(b *testing.B) {
-	pts := make([]Point, benchN)
+	pts := make([]pathcache.Point, benchN)
 	for i, p := range benchPts() {
-		pts[i] = Point(p)
+		pts[i] = pathcache.Point(p)
 	}
-	ix, err := NewTwoSidedIndex(pts, SchemeSegmented, &Options{PageSize: benchPage, BufferPoolPages: 256})
+	ix, err := pathcache.NewTwoSidedIndex(pts, pathcache.SchemeSegmented, &pathcache.Options{PageSize: benchPage, BufferPoolPages: 256})
 	if err != nil {
 		b.Fatal(err)
 	}
 	raw := workload.TwoSidedQueries(64, 1<<30, benchSel, 47)
-	qs := make([]TwoSidedQuery, len(raw))
+	qs := make([]pathcache.TwoSidedQuery, len(raw))
 	for i, q := range raw {
-		qs[i] = TwoSidedQuery{A: q.A, B: q.B}
+		qs[i] = pathcache.TwoSidedQuery{A: q.A, B: q.B}
 	}
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

@@ -65,7 +65,17 @@ func TestGoldenOutput(t *testing.T) {
 		{"build", "-type", "lsm", "-base", "stabbing", "-memtable", "8", "-in", ivsCSV, "-out", filepath.Join(dir, "dynstab.pc"), "-page", "512"},
 		{"info", "-in", filepath.Join(dir, "dynstab.pc")},
 		{"query", "-in", filepath.Join(dir, "dynstab.pc"), "-q", "33"},
+		{"build", "-type", "twosided", "-scheme", "segmented", "-shards", "3", "-in", ptsCSV, "-out", filepath.Join(dir, "two.shards"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "two.shards")},
+		{"query", "-in", filepath.Join(dir, "two.shards"), "-q", "30 30"},
+		{"build", "-type", "stabbing", "-shards", "2", "-in", ivsCSV, "-out", filepath.Join(dir, "stab.shards"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "stab.shards")},
+		{"query", "-in", filepath.Join(dir, "stab.shards"), "-q", "33"},
+		{"build", "-type", "lsm", "-base", "twosided", "-memtable", "8", "-shards", "2", "-in", ptsCSV, "-out", filepath.Join(dir, "dyn.shards"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "dyn.shards")},
+		{"query", "-in", filepath.Join(dir, "dyn.shards"), "-q", "30 30"},
 		{"verify", "-in", filepath.Join(dir, "two.pc")},
+		{"verify", "-in", filepath.Join(dir, "two.shards")},
 		{"verify", "-in", filepath.Join(dir, "seg.pc")},
 		{"verify", "-in", filepath.Join(dir, "dyn.pc")},
 		{"stats", "-in", filepath.Join(dir, "two.pc")},
@@ -76,6 +86,7 @@ func TestGoldenOutput(t *testing.T) {
 		{"stats", "-in", filepath.Join(dir, "win.pc")},
 		{"stats", "-in", filepath.Join(dir, "dyn.pc")},
 		{"stats", "-in", filepath.Join(dir, "dynstab.pc")},
+		{"stats", "-in", filepath.Join(dir, "two.shards")},
 		{"stats", "-serve", "-in", filepath.Join(dir, "two.pc")},
 		{"stats", "-serve", "-in", filepath.Join(dir, "dyn.pc")},
 	}

@@ -15,6 +15,12 @@
 //	pcindex build -type lsm -base twosided -memtable 8 -in points.csv    -out dyn.pc
 //	pcindex build -type lsm -base stabbing -memtable 8 -in intervals.csv -out dynstab.pc
 //
+// Build a sharded store (-out becomes a directory holding one file per
+// shard plus the shard-map manifest; query/info/stats/verify take the
+// directory):
+//
+//	pcindex build -type twosided -shards 3 -in points.csv -out pts.shards
+//
 // Query it (reopens without rebuilding):
 //
 //	pcindex query -in pts.pc  -q "100 200"        # x >= 100, y >= 200
@@ -50,11 +56,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"pathcache"
+	"pathcache/internal/engine"
 	"pathcache/internal/server"
+	"pathcache/internal/shard"
 )
 
 func main() {
@@ -95,15 +104,16 @@ func usage() {
 // the shared operations plus the one concrete pointer matching its kind,
 // filled in by a type switch over what pathcache.Open returned.
 type opened struct {
-	ix    pathcache.Index
-	kind  string
-	two   *pathcache.TwoSidedIndex
-	three *pathcache.ThreeSidedIndex
-	stab  *pathcache.StabbingIndex
-	seg   *pathcache.SegmentIndex
-	itv   *pathcache.IntervalIndex
-	win   *pathcache.WindowIndex
-	lsm   *pathcache.LSMIndex
+	ix      pathcache.Index
+	kind    string
+	two     *pathcache.TwoSidedIndex
+	three   *pathcache.ThreeSidedIndex
+	stab    *pathcache.StabbingIndex
+	seg     *pathcache.SegmentIndex
+	itv     *pathcache.IntervalIndex
+	win     *pathcache.WindowIndex
+	lsm     *pathcache.LSMIndex
+	sharded *pathcache.Sharded
 }
 
 func openAny(path string) (*opened, error) {
@@ -127,6 +137,8 @@ func openAny(path string) (*opened, error) {
 		o.win = v
 	case *pathcache.LSMIndex:
 		o.lsm = v
+	case *pathcache.Sharded:
+		o.sharded = v
 	default:
 		ix.Close()
 		return nil, fmt.Errorf("%s: unsupported index kind %q", path, ix.Kind())
@@ -145,8 +157,9 @@ func runBuild(args []string) error {
 	base := fs.String("base", "twosided", "lsm only: base kind the sealed levels are built with")
 	memtable := fs.Int("memtable", 0, "lsm only: updates per memtable flush (0 = default)")
 	in := fs.String("in", "", "input CSV (points: x,y,id — intervals: lo,hi,id)")
-	out := fs.String("out", "", "output index file")
+	out := fs.String("out", "", "output index file (a directory with -shards)")
 	page := fs.Int("page", pathcache.DefaultPageSize, "page size in bytes")
+	shards := fs.Int("shards", 1, "shard count; >= 2 builds a sharded store under -out")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,6 +177,11 @@ func runBuild(args []string) error {
 		sc = pathcache.SchemeSegmented
 	default:
 		return fmt.Errorf("scheme %q does not persist (use iko, basic or segmented)", *scheme)
+	}
+
+	if *shards >= 2 {
+		return buildSharded(*typ, *base, *in, *out, pathcache.ShardPlan{Shards: *shards, Scheme: sc, Base: *base},
+			&pathcache.Options{PageSize: *page, MemtableEntries: *memtable})
 	}
 
 	switch *typ {
@@ -257,6 +275,78 @@ func runBuild(args []string) error {
 		}
 	default:
 		return fmt.Errorf("unknown type %q", *typ)
+	}
+}
+
+// buildSharded builds a range-partitioned store under dir: one index file
+// per shard plus the shard-map manifest.
+func buildSharded(typ, base, in, dir string, plan pathcache.ShardPlan, opts *pathcache.Options) error {
+	var s *pathcache.Sharded
+	var err error
+	switch typ {
+	case "stabbing", "segment", "interval":
+		var ivs []pathcache.Interval
+		if ivs, err = readIntervals(in); err != nil {
+			return err
+		}
+		s, err = pathcache.BuildShardedIntervals(dir, typ, ivs, plan, opts)
+	case "lsm":
+		var pts []pathcache.Point
+		switch base {
+		case "stabbing", "segment", "interval":
+			ivs, err := readIntervals(in)
+			if err != nil {
+				return err
+			}
+			pts = make([]pathcache.Point, len(ivs))
+			for i, iv := range ivs {
+				pts[i] = pathcache.IntervalToDynamicPoint(iv)
+			}
+		default:
+			if pts, err = readPoints(in); err != nil {
+				return err
+			}
+		}
+		s, err = pathcache.BuildShardedPoints(dir, typ, pts, plan, opts)
+	default:
+		var pts []pathcache.Point
+		if pts, err = readPoints(in); err != nil {
+			return err
+		}
+		s, err = pathcache.BuildShardedPoints(dir, typ, pts, plan, opts)
+	}
+	if err != nil {
+		return err
+	}
+	what := s.ContentKind()
+	if b := s.Base(); b != "" {
+		what += " over " + b
+	}
+	fmt.Printf("built %s: %d records, %d pages (%d shards of %s)\n",
+		dir, s.Len(), s.Pages(), s.NumShards(), what)
+	return s.Close()
+}
+
+// shardReads sums the per-shard profiles of one scatter-gathered query.
+func shardReads(profs []pathcache.ShardProfile) int64 {
+	var n int64
+	for _, p := range profs {
+		n += p.Reads
+	}
+	return n
+}
+
+// shardedQueryKind names the query shape a sharded store answers: its
+// content kind, with "lsm" resolved through its base.
+func shardedQueryKind(s *pathcache.Sharded) string {
+	if s.ContentKind() != "lsm" {
+		return s.ContentKind()
+	}
+	switch s.Base() {
+	case "stabbing", "segment", "interval":
+		return "stabbing"
+	default:
+		return "twosided"
 	}
 }
 
@@ -378,6 +468,48 @@ func runQuery(args []string) error {
 		default:
 			return fmt.Errorf("lsm query needs 'a b' (2-sided) or 'q' (stabbing)")
 		}
+	case "shard":
+		// The scatter-gather path: the shape follows the content kind, and
+		// the printed read count sums every consulted shard's profile.
+		s := o.sharded
+		switch shardedQueryKind(s) {
+		case "twosided":
+			if len(nums) != 2 {
+				return fmt.Errorf("2-sided query needs 'a b'")
+			}
+			res, profs, err := s.QueryProfile(nums[0], nums[1])
+			if err != nil {
+				return err
+			}
+			printPts(res, shardReads(profs))
+		case "threeside":
+			if len(nums) != 3 {
+				return fmt.Errorf("3-sided query needs 'a1 a2 b'")
+			}
+			res, profs, err := s.QueryThreeSidedProfile(nums[0], nums[1], nums[2])
+			if err != nil {
+				return err
+			}
+			printPts(res, shardReads(profs))
+		case "window":
+			if len(nums) != 4 {
+				return fmt.Errorf("window query needs 'x1 x2 y1 y2'")
+			}
+			res, profs, err := s.WindowQueryProfile(nums[0], nums[1], nums[2], nums[3])
+			if err != nil {
+				return err
+			}
+			printPts(res, shardReads(profs))
+		default:
+			if len(nums) != 1 {
+				return fmt.Errorf("stabbing query needs 'q'")
+			}
+			res, profs, err := s.StabProfile(nums[0])
+			if err != nil {
+				return err
+			}
+			printIvs(res, shardReads(profs))
+		}
 	}
 	return nil
 }
@@ -405,6 +537,12 @@ func runInfo(args []string) error {
 		fmt.Printf("kind: %s (%s scheme)\n", o.kind, o.two.Scheme())
 	case "lsm":
 		fmt.Printf("kind: %s (over %s)\n", o.kind, o.lsm.Base())
+	case "shard":
+		what := o.sharded.ContentKind()
+		if b := o.sharded.Base(); b != "" {
+			what += " over " + b
+		}
+		fmt.Printf("kind: %s (%d shards of %s, epoch %d)\n", o.kind, o.sharded.NumShards(), what, o.sharded.Epoch())
 	default:
 		fmt.Printf("kind: %s\n", o.kind)
 	}
@@ -416,7 +554,26 @@ func runInfo(args []string) error {
 				lv.Slot, lv.Records, lv.TreePages, lv.DataPages, lv.BloomPages)
 		}
 	}
+	if o.kind == "shard" {
+		for _, info := range o.sharded.Shards() {
+			fmt.Printf("shard %d: %s records=%d pages=%d range=%s\n",
+				info.Shard, info.File, info.Len, info.Pages, keyRange(info.Lo, info.Hi))
+		}
+	}
 	return nil
+}
+
+// keyRange renders a shard's half-open routing-key range, with the
+// unbounded ends spelled out.
+func keyRange(lo, hi int64) string {
+	l, h := "-inf", "+inf"
+	if lo != math.MinInt64 {
+		l = strconv.FormatInt(lo, 10)
+	}
+	if hi != math.MaxInt64 {
+		h = strconv.FormatInt(hi, 10)
+	}
+	return fmt.Sprintf("[%s,%s)", l, h)
 }
 
 // runStats reopens an index, runs one deterministic full-range probe for
@@ -452,8 +609,14 @@ func runStats(args []string) error {
 	fmt.Printf("kind: %s\nprobe: %d results\n", o.kind, results)
 	fmt.Printf("inflight: %d\nseries: %d\n", m.Inflight, len(m.Ops))
 	for _, s := range m.Ops {
-		fmt.Printf("op %s/%s worker=%s: ops=%d results=%d\n",
-			s.Kind, s.Name, workerLabel(s.Worker), s.Ops, s.Results)
+		// Series from a sharded store carry the recording shard; single-store
+		// series print exactly as before.
+		tag := ""
+		if s.Shard != pathcache.NoShard {
+			tag = fmt.Sprintf(" shard=%d", s.Shard)
+		}
+		fmt.Printf("op %s/%s worker=%s%s: ops=%d results=%d\n",
+			s.Kind, s.Name, workerLabel(s.Worker), tag, s.Ops, s.Results)
 		fmt.Printf("  reads:  %s\n", histLine(s.Reads))
 		fmt.Printf("  writes: %s\n", histLine(s.Writes))
 		fmt.Printf("  hits:   %s\n", histLine(s.CacheHits))
@@ -494,6 +657,21 @@ func probe(o *opened) (int, error) {
 		default:
 			pts, _, err := o.lsm.Query(lo, lo)
 			return len(pts), err
+		}
+	case "shard":
+		switch shardedQueryKind(o.sharded) {
+		case "twosided":
+			pts, err := o.sharded.Query(lo, lo)
+			return len(pts), err
+		case "threeside":
+			pts, err := o.sharded.QueryThreeSided(lo, hi, lo)
+			return len(pts), err
+		case "window":
+			pts, err := o.sharded.WindowQuery(lo, hi, lo, hi)
+			return len(pts), err
+		default:
+			ivs, err := o.sharded.Stab(0)
+			return len(ivs), err
 		}
 	default: // window; openAny rejects anything else
 		pts, err := o.win.Query(lo, hi, lo, hi)
@@ -538,6 +716,9 @@ func runVerify(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("verify requires -in")
 	}
+	if fi, err := os.Stat(*in); err == nil && fi.IsDir() {
+		return verifySharded(*in)
+	}
 	rep, err := pathcache.VerifyFile(*in)
 	if err != nil {
 		return err
@@ -547,6 +728,40 @@ func runVerify(args []string) error {
 	fmt.Printf("page: %d bytes (%d usable)\n", rep.PageSize, rep.Usable)
 	fmt.Printf("slots: %d (%d live, %d free)\n", rep.Slots, rep.Live, rep.Free)
 	fmt.Println("checksums: ok")
+	return nil
+}
+
+// verifySharded checks a sharded store directory: the manifest's checksums
+// and committed map first, then every shard file the map names, one row
+// per shard. The map is read directly (not via OpenSharded) so a store
+// with one corrupt shard still reports the other shards' health.
+func verifySharded(dir string) error {
+	manifest := filepath.Join(dir, shard.MapFileName)
+	rep, err := pathcache.VerifyFile(manifest)
+	if err != nil {
+		return err
+	}
+	be, err := engine.Open(manifest)
+	if err != nil {
+		return err
+	}
+	m, err := shard.Load(be)
+	if cerr := be.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kind: %s (%d shards of %s, epoch %d)\n", rep.Kind, m.NumShards(), engine.KindName(m.Kind), m.Epoch)
+	fmt.Println("manifest checksums: ok")
+	for i, f := range m.Files {
+		srep, err := pathcache.VerifyFile(filepath.Join(dir, f))
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", i, f, err)
+		}
+		fmt.Printf("shard %d: %s kind=%s slots=%d (%d live, %d free) checksums: ok\n",
+			i, f, srep.Kind, srep.Slots, srep.Live, srep.Free)
+	}
 	return nil
 }
 

@@ -41,6 +41,7 @@ var indexPackages = []string{
 	"internal/dyn3side",
 	"internal/pstcore",
 	"internal/inmem",
+	"internal/shard",
 }
 
 // encoderPackages hold fixed-width record layouts or node-payload encoders.
@@ -50,7 +51,7 @@ var encoderPackages = append([]string{"internal/record", "internal/disk"}, index
 // serving layer (whose snapshot handles and admission gates must never hold
 // a lock across store I/O). The bare module path is the root pathcache
 // package (batch.go, handle.go).
-var lockPackages = []string{"internal/disk", "internal/server", "pathcache"}
+var lockPackages = []string{"internal/disk", "internal/server", "internal/shard", "pathcache"}
 
 // obsExempt are the sanctioned metric-recording seams; obsdiscipline runs
 // on every other package (the analyzer also self-gates, so the fixture
@@ -63,11 +64,11 @@ var durabilityPackages = []string{"internal/lsm"}
 
 // commitPackages flip metadata heads: the write-all-new -> flip -> free-old
 // discipline applies wherever a commit point is published.
-var commitPackages = []string{"internal/lsm", "internal/disk", "internal/engine"}
+var commitPackages = []string{"internal/lsm", "internal/disk", "internal/engine", "internal/shard"}
 
 // snapshotPackages declare //pcvet:snapshot fields (the marker is
 // package-local, so the analyzer only has teeth where the fields live).
-var snapshotPackages = []string{"internal/lsm"}
+var snapshotPackages = []string{"internal/lsm", "internal/shard"}
 
 // analyzersFor selects the analyzers for importPath. Fixture packages run
 // the analyzer their name starts with, or every analyzer when none matches,

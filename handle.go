@@ -26,7 +26,8 @@ type Handle struct {
 	mu     sync.Mutex // guards cur/closed and ref bookkeeping, never held across I/O
 	cur    *handleRef
 	closed bool
-	gen    uint64 // bumped on every successful Reload
+	gen    uint64                // bumped on every successful Reload
+	open   func() (Index, error) // Reload's opener; nil means Open(path)
 }
 
 // handleRef is one installed index plus the count of operations pinning it.
@@ -56,6 +57,11 @@ func NewHandle(path string, ix Index) *Handle {
 
 // Path reports the file the handle reopens on Reload.
 func (h *Handle) Path() string { return h.path }
+
+// SetOpener replaces how Reload reopens the handle's path (Open by
+// default) — the seam sharded stores use so a reloaded shard keeps its
+// per-shard runtime options. Call before the handle is shared.
+func (h *Handle) SetOpener(open func() (Index, error)) { h.open = open }
 
 // Generation reports how many Reloads have been installed — a cheap way
 // for callers to observe that a swap happened.
@@ -101,7 +107,11 @@ func (h *Handle) Reload() error {
 	if h.path == "" {
 		return fmt.Errorf("pathcache: handle has no path to reload")
 	}
-	ix, err := Open(h.path)
+	open := h.open
+	if open == nil {
+		open = func() (Index, error) { return Open(h.path) }
+	}
+	ix, err := open()
 	if err != nil {
 		return err
 	}

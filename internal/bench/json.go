@@ -461,7 +461,7 @@ func lsmReport(cfg Config) (Report, error) {
 // validate BENCH_* names against the engine registry. A package variable
 // so the atomic-write regression test can inject a failing family.
 var jsonFamilies = []func(Config) (Report, error){
-	twoSidedReport, threeSidedReport, segmentReport, intervalReport, stabbingReport, windowReport, lsmReport,
+	twoSidedReport, threeSidedReport, segmentReport, intervalReport, stabbingReport, windowReport, lsmReport, shardReport,
 }
 
 // JSONReports runs the compact measurement suite and returns one report per

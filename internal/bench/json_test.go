@@ -29,6 +29,7 @@ func TestWriteJSON(t *testing.T) {
 		"BENCH_stabbing.json":  true,
 		"BENCH_window.json":    true,
 		"BENCH_lsm.json":       true,
+		"BENCH_shard.json":     true,
 	}
 	if len(paths) != len(wantNames) {
 		t.Fatalf("wrote %d reports, want %d: %v", len(paths), len(wantNames), paths)

@@ -126,11 +126,44 @@ func New(cfg Config) (*Backend, error) {
 // Open attaches a backend to an existing index file. Like New, errors come
 // back unwrapped.
 func Open(path string) (*Backend, error) {
+	return OpenWith(path, Config{})
+}
+
+// OpenWith attaches a backend to an existing index file with the runtime
+// configuration New applies to fresh stores: buffer pool, pager wrapper,
+// tracer and bound sentinels. The file's own page size rules, so
+// cfg.PageSize, cfg.Path and cfg.File are ignored. The multi-store router
+// opens each of its shards through this, so every shard gets its own pool
+// and its own metric registry.
+func OpenWith(path string, cfg Config) (*Backend, error) {
+	if cfg.BufferPoolPages < 0 {
+		return nil, fmt.Errorf("invalid BufferPoolPages %d: must be positive (zero disables the pool)", cfg.BufferPoolPages)
+	}
 	fs, err := disk.OpenFileStore(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{store: fs, pager: fs, file: fs, reg: obs.NewRegistry()}, nil
+	be := &Backend{store: fs, pager: fs, file: fs, reg: obs.NewRegistry()}
+	be.reg.SetStrict(cfg.StrictBounds)
+	be.reg.SetLimits(cfg.BoundMaxRatio, cfg.BoundSlack)
+	if cfg.Tracer != nil {
+		be.reg.SetTracer(cfg.Tracer)
+	}
+	if cfg.BufferPoolPages > 0 {
+		bp, err := disk.NewBufferPool(fs, cfg.BufferPoolPages)
+		if err != nil {
+			if cerr := fs.Close(); cerr != nil {
+				err = fmt.Errorf("%w (and closing store: %w)", err, cerr)
+			}
+			return nil, err
+		}
+		be.pager = bp
+		be.pool = bp
+	}
+	if cfg.WrapPager != nil {
+		be.pager = cfg.WrapPager(be.pager)
+	}
+	return be, nil
 }
 
 // Pager is the pager index structures build on and query through.

@@ -209,10 +209,15 @@ type Registry struct {
 	maxRatioBits atomic.Uint64 // math.Float64bits; 0 means DefaultMaxRatio
 	slackBits    atomic.Uint64 // math.Float64bits; 0 means DefaultSlack
 	tracer       atomic.Value  // tracerBox
+	shardPlus1   atomic.Int64  // shard id + 1; 0 means NoShard
 
 	mu     sync.RWMutex
 	series map[seriesKey]*series
 }
+
+// NoShard is the Shard value of a registry that does not belong to a
+// sharded store.
+const NoShard = -1
 
 // NewRegistry returns an empty registry with default sentinel constants and
 // strict mode off.
@@ -229,6 +234,14 @@ func (r *Registry) loadTracer() Tracer {
 	}
 	return nil
 }
+
+// SetShard tags the registry with the shard it records for inside a
+// sharded store; every SeriesSnapshot then carries the id, so merged
+// multi-shard metric views stay attributable. The default is NoShard.
+func (r *Registry) SetShard(id int) { r.shardPlus1.Store(int64(id) + 1) }
+
+// Shard reports the registry's shard tag (NoShard outside sharded stores).
+func (r *Registry) Shard() int { return int(r.shardPlus1.Load()) - 1 }
 
 // SetStrict arms (or disarms) the bound sentinels: with strict mode on,
 // End returns a *BoundError for any operation whose measured reads exceed
@@ -361,6 +374,7 @@ type SeriesSnapshot struct {
 	Kind    string
 	Name    string
 	Worker  int // SerialWorker for non-batch operations
+	Shard   int // the owning registry's shard tag; NoShard outside sharded stores
 	Ops     int64
 	Results int64
 	Reads   HistSnapshot
@@ -394,6 +408,7 @@ func (r *Registry) Snapshot() Snapshot {
 		return keys[i].worker < keys[j].worker
 	})
 	out := Snapshot{Inflight: r.Inflight()}
+	shardID := r.Shard()
 	for _, k := range keys {
 		r.mu.RLock()
 		s := r.series[k]
@@ -405,6 +420,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Kind:     s.kind,
 			Name:     k.name,
 			Worker:   k.worker,
+			Shard:    shardID,
 			Ops:      s.ops.Total(),
 			Results:  s.results.Total(),
 			Reads:    s.reads.Snapshot(),

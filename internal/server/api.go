@@ -180,6 +180,12 @@ type compactReq struct {
 	Background bool `json:"background,omitempty"`
 }
 
+// reloadReq selects what /admin/reload swaps: the whole store (empty
+// body), or one shard of a sharded store.
+type reloadReq struct {
+	Shard *int `json:"shard,omitempty"`
+}
+
 // Response shapes.
 
 type pointJSON struct {
@@ -211,6 +217,19 @@ func ioOf(p pathcache.IOProfile) ioJSON {
 
 func ioOfBatch(st pathcache.BatchStats) ioJSON {
 	return ioJSON{Reads: st.Reads, Writes: st.Writes, CacheHits: st.CacheHits}
+}
+
+// ioOfShards sums the per-shard profiles of a scatter-gathered serial
+// operation — still the request's exact op-scoped attribution, shard by
+// shard.
+func ioOfShards(profs []pathcache.ShardProfile) ioJSON {
+	var out ioJSON
+	for _, p := range profs {
+		out.Reads += p.Reads
+		out.Writes += p.Writes
+		out.CacheHits += p.CacheHits
+	}
+	return out
 }
 
 type queryResponse struct {

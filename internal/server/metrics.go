@@ -45,6 +45,9 @@ func WriteIndexMetrics(w io.Writer, m pathcache.Metrics) {
 	fmt.Fprintf(w, "pathcache_inflight %d\n", m.Inflight)
 	for _, op := range m.Ops {
 		labels := fmt.Sprintf("kind=%q,op=%q,worker=%q", op.Kind, op.Name, workerLabel(op.Worker))
+		if op.Shard != pathcache.NoShard {
+			labels += fmt.Sprintf(",shard=\"%d\"", op.Shard)
+		}
 		fmt.Fprintf(w, "pathcache_op_ops_total{%s} %d\n", labels, op.Ops)
 		fmt.Fprintf(w, "pathcache_op_results_total{%s} %d\n", labels, op.Results)
 		writeHist(w, "pathcache_op_reads", labels, op.Reads)

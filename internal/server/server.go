@@ -359,6 +359,33 @@ func (s *Server) opQuery(ctx context.Context, body []byte) (any, int, *apiError)
 			return nil, 0, aerr
 		}
 		pts, prof, err = v.Query(*req.A, *req.B)
+	case *pathcache.Sharded:
+		// A sharded store answers the query shape of its content kind; the
+		// scatter-gather profiles sum into the response's exact I/O.
+		var profs []pathcache.ShardProfile
+		switch v.ContentKind() {
+		case "twosided", "lsm":
+			if aerr := req.need2Sided(); aerr != nil {
+				release()
+				return nil, 0, aerr
+			}
+			pts, profs, err = v.QueryProfile(*req.A, *req.B)
+		case "threeside":
+			if aerr := req.need3Sided(); aerr != nil {
+				release()
+				return nil, 0, aerr
+			}
+			pts, profs, err = v.QueryThreeSidedProfile(*req.A1, *req.A2, *req.B)
+		default:
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "query")
+		}
+		if err != nil {
+			release()
+			return nil, 0, mapStoreErr(err)
+		}
+		resp := &queryResponse{Count: len(pts), Points: toPointsJSON(pts), IO: ioOfShards(profs)}
+		return finish(resp, len(pts), release)
 	default:
 		release()
 		return nil, 0, errUnsupported(ix.Kind(), "query")
@@ -369,6 +396,12 @@ func (s *Server) opQuery(ctx context.Context, body []byte) (any, int, *apiError)
 	}
 	resp := &queryResponse{Count: len(pts), Points: toPointsJSON(pts), IO: ioOf(prof)}
 	return finish(resp, len(pts), release)
+}
+
+// shardedKind renders a sharded store's kind for error messages, e.g.
+// "shard(twosided)".
+func shardedKind(s *pathcache.Sharded) string {
+	return fmt.Sprintf("shard(%s)", s.ContentKind())
 }
 
 // need2Sided/need3Sided enforce the query shape the kind answers.
@@ -411,17 +444,33 @@ func (s *Server) opWindow(ctx context.Context, body []byte) (any, int, *apiError
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	win, ok := ix.(*pathcache.WindowIndex)
-	if !ok {
+	var (
+		pts []pathcache.Point
+		io  ioJSON
+		err error
+	)
+	switch v := ix.(type) {
+	case *pathcache.WindowIndex:
+		var prof pathcache.IOProfile
+		pts, prof, err = v.QueryProfile(*req.X1, *req.X2, *req.Y1, *req.Y2)
+		io = ioOf(prof)
+	case *pathcache.Sharded:
+		if v.ContentKind() != "window" {
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "window")
+		}
+		var profs []pathcache.ShardProfile
+		pts, profs, err = v.WindowQueryProfile(*req.X1, *req.X2, *req.Y1, *req.Y2)
+		io = ioOfShards(profs)
+	default:
 		release()
 		return nil, 0, errUnsupported(ix.Kind(), "window")
 	}
-	pts, prof, err := win.QueryProfile(*req.X1, *req.X2, *req.Y1, *req.Y2)
 	if err != nil {
 		release()
 		return nil, 0, mapStoreErr(err)
 	}
-	resp := &queryResponse{Count: len(pts), Points: toPointsJSON(pts), IO: ioOf(prof)}
+	resp := &queryResponse{Count: len(pts), Points: toPointsJSON(pts), IO: io}
 	return finish(resp, len(pts), release)
 }
 
@@ -456,6 +505,21 @@ func (s *Server) opStab(ctx context.Context, body []byte) (any, int, *apiError) 
 		ivs, prof, err = v.StabProfile(*req.Q)
 	case *pathcache.LSMIndex:
 		ivs, prof, err = v.Stab(*req.Q)
+	case *pathcache.Sharded:
+		switch v.ContentKind() {
+		case "segment", "interval", "stabbing", "lsm":
+		default:
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "stab")
+		}
+		var profs []pathcache.ShardProfile
+		ivs, profs, err = v.StabProfile(*req.Q)
+		if err != nil {
+			release()
+			return nil, 0, mapStoreErr(err)
+		}
+		resp := &queryResponse{Count: len(ivs), Intervals: toIntervalsJSON(ivs), IO: ioOfShards(profs)}
+		return finish(resp, len(ivs), release)
 	default:
 		release()
 		return nil, 0, errUnsupported(ix.Kind(), "stab")
@@ -485,12 +549,24 @@ func (s *Server) opSearch(ctx context.Context, body []byte) (any, int, *apiError
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	lsm, ok := ix.(*pathcache.LSMIndex)
-	if !ok {
+	var (
+		found bool
+		prof  pathcache.IOProfile
+		err   error
+	)
+	switch v := ix.(type) {
+	case *pathcache.LSMIndex:
+		found, prof, err = v.Has(req.point())
+	case *pathcache.Sharded:
+		if v.ContentKind() != "lsm" {
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "search")
+		}
+		found, prof, err = v.Has(req.point())
+	default:
 		release()
 		return nil, 0, errUnsupported(ix.Kind(), "search")
 	}
-	found, prof, err := lsm.Has(req.point())
 	if err != nil {
 		release()
 		return nil, 0, mapStoreErr(err)
@@ -566,6 +642,32 @@ func (s *Server) opQueryBatch(ctx context.Context, body []byte) (any, int, *apiE
 			qs[i] = pathcache.TwoSidedQuery{A: *q.A, B: *q.B}
 		}
 		out, st, err = v.QueryBatch(qs, workers)
+	case *pathcache.Sharded:
+		switch v.ContentKind() {
+		case "twosided", "lsm":
+			qs := make([]pathcache.TwoSidedQuery, len(req.Queries))
+			for i, q := range req.Queries {
+				if aerr := q.need2Sided(); aerr != nil {
+					release()
+					return nil, 0, aerr
+				}
+				qs[i] = pathcache.TwoSidedQuery{A: *q.A, B: *q.B}
+			}
+			out, st, err = v.QueryBatch(qs, workers)
+		case "threeside":
+			qs := make([]pathcache.ThreeSidedQuery, len(req.Queries))
+			for i, q := range req.Queries {
+				if aerr := q.need3Sided(); aerr != nil {
+					release()
+					return nil, 0, aerr
+				}
+				qs[i] = pathcache.ThreeSidedQuery{A1: *q.A1, A2: *q.A2, B: *q.B}
+			}
+			out, st, err = v.QueryThreeSidedBatch(qs, workers)
+		default:
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "query/batch")
+		}
 	default:
 		release()
 		return nil, 0, errUnsupported(ix.Kind(), "query/batch")
@@ -598,11 +700,6 @@ func (s *Server) opWindowBatch(ctx context.Context, body []byte) (any, int, *api
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	win, ok := ix.(*pathcache.WindowIndex)
-	if !ok {
-		release()
-		return nil, 0, errUnsupported(ix.Kind(), "window/batch")
-	}
 	qs := make([]pathcache.WindowQuery, len(req.Queries))
 	for i, q := range req.Queries {
 		if aerr := q.validate(); aerr != nil {
@@ -611,7 +708,24 @@ func (s *Server) opWindowBatch(ctx context.Context, body []byte) (any, int, *api
 		}
 		qs[i] = pathcache.WindowQuery{X1: *q.X1, X2: *q.X2, Y1: *q.Y1, Y2: *q.Y2}
 	}
-	out, st, err := win.QueryBatch(qs, s.batchWorkers(req.Workers))
+	var (
+		out [][]pathcache.Point
+		st  pathcache.BatchStats
+		err error
+	)
+	switch v := ix.(type) {
+	case *pathcache.WindowIndex:
+		out, st, err = v.QueryBatch(qs, s.batchWorkers(req.Workers))
+	case *pathcache.Sharded:
+		if v.ContentKind() != "window" {
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "window/batch")
+		}
+		out, st, err = v.WindowQueryBatch(qs, s.batchWorkers(req.Workers))
+	default:
+		release()
+		return nil, 0, errUnsupported(ix.Kind(), "window/batch")
+	}
 	if err != nil {
 		release()
 		return nil, 0, mapStoreErr(err)
@@ -655,6 +769,14 @@ func (s *Server) opStabBatch(ctx context.Context, body []byte) (any, int, *apiEr
 		out, st, err = v.StabBatch(req.Qs, workers)
 	case *pathcache.LSMIndex:
 		out, st, err = v.StabBatch(req.Qs, workers)
+	case *pathcache.Sharded:
+		switch v.ContentKind() {
+		case "segment", "interval", "stabbing", "lsm":
+		default:
+			release()
+			return nil, 0, errUnsupported(shardedKind(v), "stab/batch")
+		}
+		out, st, err = v.StabBatch(req.Qs, workers)
 	default:
 		release()
 		return nil, 0, errUnsupported(ix.Kind(), "stab/batch")
@@ -682,33 +804,53 @@ func (s *Server) checkBatch(n int) *apiError {
 	return nil
 }
 
-// lsmOnly pins the index and requires the write tier.
-func (s *Server) lsmOnly(op string) (*pathcache.LSMIndex, func() error, *apiError) {
+// writeTier is the write-path seam /v1/insert through /v1/compact need.
+// The LSM tier satisfies it directly; a sharded store of lsm shards
+// satisfies it by routing each record to its owning shard.
+type writeTier interface {
+	Insert(pathcache.Point) (pathcache.IOProfile, error)
+	Delete(pathcache.Point) (pathcache.IOProfile, error)
+	Flush() error
+	Compact() error
+	Len() int
+}
+
+// writable pins the index and requires a write tier: the lsm kind, or a
+// sharded store whose shards are lsm.
+func (s *Server) writable(op string) (writeTier, func() error, *apiError) {
 	ix, release, aerr := s.acquire()
 	if aerr != nil {
 		return nil, nil, aerr
 	}
-	lsm, ok := ix.(*pathcache.LSMIndex)
-	if !ok {
+	switch v := ix.(type) {
+	case *pathcache.LSMIndex:
+		return v, release, nil
+	case *pathcache.Sharded:
+		if v.ContentKind() == "lsm" {
+			return v, release, nil
+		}
+		release()
+		return nil, nil, &apiError{Status: http.StatusBadRequest, Code: codeReadOnlyKind,
+			Message: fmt.Sprintf("index kind %q is static; %s needs the lsm write tier", shardedKind(v), op)}
+	default:
 		release()
 		return nil, nil, &apiError{Status: http.StatusBadRequest, Code: codeReadOnlyKind,
 			Message: fmt.Sprintf("index kind %q is static; %s needs the lsm write tier", ix.Kind(), op)}
 	}
-	return lsm, release, nil
 }
 
 // opInsert appends one record through the write tier's WAL.
 func (s *Server) opInsert(ctx context.Context, body []byte) (any, int, *apiError) {
-	return s.update(ctx, body, "insert", (*pathcache.LSMIndex).Insert)
+	return s.update(ctx, body, "insert", writeTier.Insert)
 }
 
 // opDelete tombstones one record.
 func (s *Server) opDelete(ctx context.Context, body []byte) (any, int, *apiError) {
-	return s.update(ctx, body, "delete", (*pathcache.LSMIndex).Delete)
+	return s.update(ctx, body, "delete", writeTier.Delete)
 }
 
 func (s *Server) update(ctx context.Context, body []byte, op string,
-	apply func(*pathcache.LSMIndex, pathcache.Point) (pathcache.IOProfile, error)) (any, int, *apiError) {
+	apply func(writeTier, pathcache.Point) (pathcache.IOProfile, error)) (any, int, *apiError) {
 	var req recordReq
 	if aerr := decodeStrict(body, &req); aerr != nil {
 		return nil, 0, aerr
@@ -719,16 +861,16 @@ func (s *Server) update(ctx context.Context, body []byte, op string,
 	if aerr := ctxErr(ctx); aerr != nil {
 		return nil, 0, aerr
 	}
-	lsm, release, aerr := s.lsmOnly(op)
+	w, release, aerr := s.writable(op)
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	prof, err := apply(lsm, req.point())
+	prof, err := apply(w, req.point())
 	if err != nil {
 		release()
 		return nil, 0, mapStoreErr(err)
 	}
-	return finish(&updateResponse{Records: lsm.Len(), IO: ioOf(prof)}, 1, release)
+	return finish(&updateResponse{Records: w.Len(), IO: ioOf(prof)}, 1, release)
 }
 
 // opFlush seals the memtable now.
@@ -739,11 +881,11 @@ func (s *Server) opFlush(ctx context.Context, body []byte) (any, int, *apiError)
 	if aerr := ctxErr(ctx); aerr != nil {
 		return nil, 0, aerr
 	}
-	lsm, release, aerr := s.lsmOnly("flush")
+	w, release, aerr := s.writable("flush")
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	if err := lsm.Flush(); err != nil {
+	if err := w.Flush(); err != nil {
 		release()
 		return nil, 0, mapStoreErr(err)
 	}
@@ -763,18 +905,18 @@ func (s *Server) opCompact(ctx context.Context, body []byte) (any, int, *apiErro
 	if aerr := ctxErr(ctx); aerr != nil {
 		return nil, 0, aerr
 	}
-	lsm, release, aerr := s.lsmOnly("compact")
+	w, release, aerr := s.writable("compact")
 	if aerr != nil {
 		return nil, 0, aerr
 	}
 	if !req.Background {
-		if err := lsm.Compact(); err != nil {
+		if err := w.Compact(); err != nil {
 			release()
 			return nil, 0, mapStoreErr(err)
 		}
 		return finish(&okResponse{OK: true}, 0, release)
 	}
-	done := lsm.CompactBackground()
+	done := compactBackground(w)
 	go func() {
 		err := <-done
 		switch {
@@ -792,19 +934,56 @@ func (s *Server) opCompact(ctx context.Context, body []byte) (any, int, *apiErro
 	return &okResponse{OK: true, Background: true}, 0, nil
 }
 
+// compactBackground starts a non-blocking compaction. The LSM tier races
+// over its own copy-on-write level snapshot; a sharded store compacts
+// shard by shard on a goroutine — its readers run over router snapshots
+// and never block on the maintenance lock.
+func compactBackground(w writeTier) <-chan error {
+	if lsm, ok := w.(*pathcache.LSMIndex); ok {
+		return lsm.CompactBackground()
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Compact() }()
+	return done
+}
+
 // opReload hot-swaps the served index: reopen the handle's path and
 // install the fresh snapshot; readers in flight finish on the old one.
+// Against a sharded store, {"shard": i} reloads only shard i — the shard's
+// own hot-swap handle installs the fresh file while pinned readers finish
+// on the snapshot they hold.
 func (s *Server) opReload(ctx context.Context, body []byte) (any, int, *apiError) {
-	if aerr := decodeStrict(body, &struct{}{}); aerr != nil {
+	var req reloadReq
+	if aerr := decodeStrict(body, &req); aerr != nil {
 		return nil, 0, aerr
 	}
 	if aerr := ctxErr(ctx); aerr != nil {
 		return nil, 0, aerr
 	}
-	if err := s.handle.Reload(); err != nil {
+	if req.Shard == nil {
+		if err := s.handle.Reload(); err != nil {
+			return nil, 0, &apiError{Status: http.StatusInternalServerError, Code: codeReloadFailed, Message: err.Error()}
+		}
+		return &okResponse{OK: true}, 0, nil
+	}
+	ix, release, aerr := s.acquire()
+	if aerr != nil {
+		return nil, 0, aerr
+	}
+	sh, ok := ix.(*pathcache.Sharded)
+	if !ok {
+		release()
+		return nil, 0, errBadRequest("index kind %q has no shards to reload", ix.Kind())
+	}
+	if *req.Shard < 0 || *req.Shard >= sh.NumShards() {
+		release()
+		return nil, 0, errBadRequest("no shard %d (store has %d)", *req.Shard, sh.NumShards())
+	}
+	if err := sh.ReloadShard(*req.Shard); err != nil {
+		release()
 		return nil, 0, &apiError{Status: http.StatusInternalServerError, Code: codeReloadFailed, Message: err.Error()}
 	}
-	return &okResponse{OK: true}, 0, nil
+	return finish(&okResponse{OK: true}, 0, release)
 }
 
 // ctxErr converts an already-expired request context into the typed
@@ -830,15 +1009,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // varz is the human-oriented JSON state dump.
 type varz struct {
-	Kind       string            `json:"kind"`
-	Records    int               `json:"records"`
-	Pages      int               `json:"pages"`
-	Stats      pathcache.Stats   `json:"stats"`
-	Generation uint64            `json:"generation"`
-	Draining   bool              `json:"draining"`
-	UptimeMS   int64             `json:"uptime_ms"`
-	Serve      obs.ServeSnapshot `json:"serve"`
-	Compact    compactVarz       `json:"compactions"`
+	Kind        string            `json:"kind"`
+	ContentKind string            `json:"content_kind,omitempty"` // shard content, for sharded stores
+	Records     int               `json:"records"`
+	Pages       int               `json:"pages"`
+	Stats       pathcache.Stats   `json:"stats"`
+	Generation  uint64            `json:"generation"`
+	Draining    bool              `json:"draining"`
+	UptimeMS    int64             `json:"uptime_ms"`
+	Serve       obs.ServeSnapshot `json:"serve"`
+	Compact     compactVarz       `json:"compactions"`
+	ShardEpoch  uint64            `json:"shard_epoch,omitempty"`
+	Shards      []shardVarz       `json:"shards,omitempty"`
+}
+
+// shardVarz is one shard's row in /varz: its file, size and key range.
+type shardVarz struct {
+	Shard   int    `json:"shard"`
+	File    string `json:"file"`
+	Records int    `json:"records"`
+	Pages   int    `json:"pages"`
+	Lo      int64  `json:"lo"`
+	Hi      int64  `json:"hi"`
 }
 
 type compactVarz struct {
@@ -867,6 +1059,17 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			Stale: s.compactStale.Load(),
 			Fail:  s.compactFail.Load(),
 		},
+	}
+	if sh, ok := ix.(*pathcache.Sharded); ok {
+		v.ContentKind = sh.ContentKind()
+		v.ShardEpoch = sh.Epoch()
+		for _, info := range sh.Shards() {
+			v.Shards = append(v.Shards, shardVarz{
+				Shard: info.Shard, File: info.File,
+				Records: info.Len, Pages: info.Pages,
+				Lo: info.Lo, Hi: info.Hi,
+			})
+		}
 	}
 	if err := release(); err != nil {
 		writeErr(w, mapStoreErr(err))

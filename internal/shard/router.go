@@ -1,0 +1,69 @@
+package shard
+
+import "sync"
+
+// Shard is one routed shard as the public layer sees it: the file name the
+// map records plus an opaque reference to the owner's per-shard object (the
+// public layer stores its copy-on-write index handle there; this package
+// never looks inside).
+type Shard struct {
+	File string
+	Ref  any
+}
+
+// Router is the installed routing state: the shard slice and split keys of
+// the currently committed map epoch. Readers take a lock-free snapshot of
+// the slices and plan against it for the whole operation; a split or
+// rebalance builds fresh slices and installs them wholesale under the lock.
+// The snapshotimmutable analyzer enforces that nothing mutates the
+// published slices in place — the same copy-on-write discipline the write
+// tier uses for its level snapshots (DESIGN.md §11).
+type Router struct {
+	mu    sync.RWMutex
+	epoch uint64
+	seq   uint64
+	//pcvet:snapshot
+	shards []Shard
+	//pcvet:snapshot
+	splits []int64
+}
+
+// NewRouter returns a router serving the given initial state.
+func NewRouter(shards []Shard, splits []int64, epoch, seq uint64) *Router {
+	return &Router{epoch: epoch, seq: seq, shards: shards, splits: splits}
+}
+
+// Snapshot returns the installed shard slice, split keys and epoch. The
+// returned slices are shared with every other snapshot of the same epoch
+// and must be treated as immutable.
+func (r *Router) Snapshot() (shards []Shard, splits []int64, epoch uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards, r.splits, r.epoch
+}
+
+// Install publishes a new routing state wholesale. The caller passes fresh
+// slices it will never mutate again; snapshots taken before the install
+// keep serving the previous epoch.
+func (r *Router) Install(shards []Shard, splits []int64, epoch, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shards = shards
+	r.splits = splits
+	r.epoch = epoch
+	r.seq = seq
+}
+
+// Epoch reports the installed epoch.
+func (r *Router) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// Seq reports the installed next-file sequence number.
+func (r *Router) Seq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}

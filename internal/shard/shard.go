@@ -1,0 +1,154 @@
+// Package shard is the horizontal scale-out core: a range-partitioned key
+// space over N independent engine instances, a crash-safe shard map
+// persisted with the §8 write-all-new -> flip -> free-old commit
+// discipline, and the router state the public scatter-gather layer plans
+// sub-queries against.
+//
+// The package deliberately sits below the public pathcache package: it
+// knows key ranges, files and the manifest encoding, but nothing about the
+// query structures. The public layer owns the per-shard index handles and
+// the result merge; this package answers exactly one question per
+// operation — which shards can hold a matching record — so every pruned
+// sub-query still runs against its kind's own engine, pool, metric
+// registry and theorem-bound sentinels.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the registry kind byte the shard-map manifest file records, and
+// KindName its registry name. The public layer registers the descriptor;
+// this package only stamps the byte into the metadata page.
+const Kind byte = 8
+
+// KindName is the shard router's registry name.
+const KindName = "shard"
+
+// MapFileName is the shard-map manifest file inside a sharded store
+// directory. The per-shard index files sit beside it under the names the
+// map records.
+const MapFileName = "shardmap.pc"
+
+// MaxShards bounds a decoded map; a manifest naming more shards than this
+// is corrupt, not ambitious.
+const MaxShards = 4096
+
+// Map is the decoded shard map: the range partition of the key space and
+// the shard file behind each range. Shard i owns routing keys k with
+// Splits[i-1] <= k < Splits[i] (the first shard is unbounded below, the
+// last unbounded above), so len(Splits) == len(Files)-1 and the split keys
+// ascend strictly.
+type Map struct {
+	// Epoch counts committed map flips; every split or rebalance bumps it.
+	Epoch uint64
+	// Seq is the next shard-file sequence number, so rebuilt shards get
+	// fresh names and a crash between flip and old-file removal leaves only
+	// orphans, never a name collision.
+	Seq uint64
+	// Kind is the content kind byte every shard file holds (one of the
+	// registered index kinds, never Kind itself).
+	Kind byte
+	// Base is the LSM base kind byte when Kind is the write tier, else 0.
+	Base byte
+	// Splits are the N-1 strictly ascending split keys.
+	Splits []int64
+	// Files are the N shard file names, relative to the store directory.
+	Files []string
+}
+
+// NumShards reports the number of shards the map partitions the key space
+// into.
+func (m *Map) NumShards() int { return len(m.Files) }
+
+// Validate checks the structural invariants every committed map holds.
+func (m *Map) Validate() error {
+	if len(m.Files) == 0 {
+		return fmt.Errorf("shard: map names no shard files")
+	}
+	if len(m.Files) > MaxShards {
+		return fmt.Errorf("shard: map names %d shards, max %d", len(m.Files), MaxShards)
+	}
+	if len(m.Splits) != len(m.Files)-1 {
+		return fmt.Errorf("shard: %d split keys for %d shards, want %d", len(m.Splits), len(m.Files), len(m.Files)-1)
+	}
+	for i := 1; i < len(m.Splits); i++ {
+		if m.Splits[i-1] >= m.Splits[i] {
+			return fmt.Errorf("shard: split keys not strictly ascending at %d (%d >= %d)", i, m.Splits[i-1], m.Splits[i])
+		}
+	}
+	seen := make(map[string]bool, len(m.Files))
+	for i, f := range m.Files {
+		if f == "" {
+			return fmt.Errorf("shard: shard %d has an empty file name", i)
+		}
+		if seen[f] {
+			return fmt.Errorf("shard: duplicate shard file %q", f)
+		}
+		seen[f] = true
+	}
+	if m.Kind == 0 || m.Kind == Kind {
+		return fmt.Errorf("shard: map records invalid content kind %d", m.Kind)
+	}
+	return nil
+}
+
+// Clone deep-copies the map, so a caller can derive the next epoch without
+// touching the installed one.
+func (m *Map) Clone() *Map {
+	out := *m
+	out.Splits = append([]int64(nil), m.Splits...)
+	out.Files = append([]string(nil), m.Files...)
+	return &out
+}
+
+// Locate returns the shard owning routing key k: the number of split keys
+// <= k. With splits [10, 20], key 9 routes to shard 0, key 10 to shard 1
+// and key 25 to shard 2.
+func Locate(splits []int64, k int64) int {
+	return sort.Search(len(splits), func(i int) bool { return splits[i] > k })
+}
+
+// Overlap returns the half-open shard range [from, to) whose key ranges
+// intersect the closed key interval [lo, hi]; an inverted interval selects
+// nothing.
+func Overlap(splits []int64, lo, hi int64) (from, to int) {
+	if lo > hi {
+		return 0, 0
+	}
+	return Locate(splits, lo), Locate(splits, hi) + 1
+}
+
+// Suffix returns the first shard whose range intersects [lo, +inf); every
+// shard from it to the last can hold a matching key.
+func Suffix(splits []int64, lo int64) int { return Locate(splits, lo) }
+
+// Prefix returns the shard range end (exclusive) for (-inf, hi]: shards
+// [0, Prefix) can hold a matching key.
+func Prefix(splits []int64, hi int64) int { return Locate(splits, hi) + 1 }
+
+// SplitKeys computes nshards-1 ascending split keys partitioning the given
+// routing keys into near-equal quantiles. Duplicate quantile keys collapse,
+// so the result can be shorter than requested when the key distribution is
+// too concentrated; the caller sizes the shard count off the returned
+// slice. keys is sorted in place.
+func SplitKeys(keys []int64, nshards int) []int64 {
+	if nshards <= 1 || len(keys) == 0 {
+		return nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	splits := make([]int64, 0, nshards-1)
+	for i := 1; i < nshards; i++ {
+		k := keys[i*len(keys)/nshards]
+		if len(splits) > 0 && splits[len(splits)-1] >= k {
+			continue
+		}
+		if k == keys[0] {
+			// A split at the minimum key would leave shard 0 empty.
+			continue
+		}
+		splits = append(splits, k)
+	}
+	return splits
+}

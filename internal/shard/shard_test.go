@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pathcache/internal/disk"
+	"pathcache/internal/engine"
+)
+
+func TestLocateAndRanges(t *testing.T) {
+	splits := []int64{10, 20, 30}
+	cases := []struct {
+		k    int64
+		want int
+	}{{-100, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2}, {29, 2}, {30, 3}, {100, 3}}
+	for _, c := range cases {
+		if got := Locate(splits, c.k); got != c.want {
+			t.Errorf("Locate(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	if from, to := Overlap(splits, 5, 25); from != 0 || to != 3 {
+		t.Errorf("Overlap(5,25) = [%d,%d), want [0,3)", from, to)
+	}
+	if from, to := Overlap(splits, 10, 10); from != 1 || to != 2 {
+		t.Errorf("Overlap(10,10) = [%d,%d), want [1,2)", from, to)
+	}
+	if from, to := Overlap(splits, 25, 5); from != to {
+		t.Errorf("inverted Overlap selects [%d,%d), want empty", from, to)
+	}
+	if got := Suffix(splits, 20); got != 2 {
+		t.Errorf("Suffix(20) = %d, want 2", got)
+	}
+	if got := Prefix(splits, 9); got != 1 {
+		t.Errorf("Prefix(9) = %d, want 1", got)
+	}
+	if got := Locate(nil, 7); got != 0 {
+		t.Errorf("Locate(nil, 7) = %d, want 0", got)
+	}
+}
+
+func TestSplitKeysQuantiles(t *testing.T) {
+	keys := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	splits := SplitKeys(keys, 4)
+	if want := []int64{25, 50, 75}; !reflect.DeepEqual(splits, want) {
+		t.Fatalf("SplitKeys = %v, want %v", splits, want)
+	}
+	// A fully concentrated distribution yields no usable split.
+	same := []int64{7, 7, 7, 7}
+	if splits := SplitKeys(same, 3); len(splits) != 0 {
+		t.Fatalf("SplitKeys over equal keys = %v, want none", splits)
+	}
+}
+
+func TestMapValidate(t *testing.T) {
+	good := &Map{Kind: 1, Splits: []int64{5}, Files: []string{"a.pc", "b.pc"}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid map rejected: %v", err)
+	}
+	bad := []*Map{
+		{Kind: 1},
+		{Kind: 1, Files: []string{"a.pc", "b.pc"}},
+		{Kind: 1, Splits: []int64{5, 5}, Files: []string{"a", "b", "c"}},
+		{Kind: 1, Splits: []int64{5}, Files: []string{"a.pc", "a.pc"}},
+		{Kind: Kind, Splits: []int64{5}, Files: []string{"a.pc", "b.pc"}},
+		{Kind: 0, Files: []string{"a.pc"}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad map %d accepted", i)
+		}
+	}
+}
+
+func TestMapEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Map{
+		Epoch:  7,
+		Seq:    11,
+		Kind:   3,
+		Base:   0,
+		Splits: []int64{-50, 0, 9000},
+		Files:  []string{"shard-0000.pc", "shard-0001.pc", "shard-0002.pc", "shard-0003.pc"},
+	}
+	got, err := decodeMap(encodeMap(m))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	// Truncations and bit flips must surface as corruption, not bad maps.
+	raw := encodeMap(m)
+	for _, cut := range []int{1, 4, 12, len(raw) - 1} {
+		if _, err := decodeMap(raw[:cut]); !errors.Is(err, disk.ErrCorrupt) {
+			t.Errorf("decode of %d-byte prefix: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[0] ^= 0xff
+	if _, err := decodeMap(flipped); !errors.Is(err, disk.ErrCorrupt) {
+		t.Errorf("decode with bad magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func testBackend(t *testing.T) *engine.Backend {
+	t.Helper()
+	be, err := engine.New(engine.Config{File: disk.NewMemFile(), PageSize: 256})
+	if err != nil {
+		t.Fatalf("backend: %v", err)
+	}
+	return be
+}
+
+func TestSaveLoadFlip(t *testing.T) {
+	be := testBackend(t)
+	defer be.Close()
+
+	if _, err := Load(be); !errors.Is(err, engine.ErrNoIndex) {
+		t.Fatalf("Load before any Save: err = %v, want ErrNoIndex", err)
+	}
+
+	a := &Map{Epoch: 1, Seq: 2, Kind: 1, Splits: []int64{100}, Files: []string{"shard-0000.pc", "shard-0001.pc"}}
+	if err := Save(be, a); err != nil {
+		t.Fatalf("save a: %v", err)
+	}
+	got, err := Load(be)
+	if err != nil {
+		t.Fatalf("load a: %v", err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("load a mismatch: %+v", got)
+	}
+
+	// The second save exercises the flip + free-old path; the loadable map
+	// must be the new epoch and the store must not leak the old chain.
+	before := be.NumPages()
+	b := a.Clone()
+	b.Epoch, b.Seq = 2, 4
+	b.Splits = []int64{100, 200}
+	b.Files = append(b.Files, "shard-0002.pc")
+	if err := Save(be, b); err != nil {
+		t.Fatalf("save b: %v", err)
+	}
+	got, err = Load(be)
+	if err != nil {
+		t.Fatalf("load b: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("load b mismatch: %+v", got)
+	}
+	if after := be.NumPages(); after > before+2 {
+		t.Fatalf("map rewrite leaked pages: %d -> %d live", before, after)
+	}
+
+	if err := Save(be, &Map{Kind: 1}); err == nil {
+		t.Fatal("saving an invalid map succeeded")
+	}
+}
+
+func TestRouterSnapshotInstall(t *testing.T) {
+	r := NewRouter([]Shard{{File: "a"}, {File: "b"}}, []int64{10}, 1, 2)
+	shards, splits, epoch := r.Snapshot()
+	if len(shards) != 2 || len(splits) != 1 || epoch != 1 {
+		t.Fatalf("snapshot = %v %v %d", shards, splits, epoch)
+	}
+	r.Install([]Shard{{File: "a"}, {File: "c"}, {File: "d"}}, []int64{10, 20}, 2, 4)
+	if shards2, _, epoch2 := r.Snapshot(); len(shards2) != 3 || epoch2 != 2 {
+		t.Fatalf("post-install snapshot = %v %d", shards2, epoch2)
+	}
+	// The pre-install snapshot is untouched.
+	if len(shards) != 2 || shards[1].File != "b" {
+		t.Fatalf("old snapshot mutated: %v", shards)
+	}
+	if r.Seq() != 4 || r.Epoch() != 2 {
+		t.Fatalf("seq/epoch = %d/%d", r.Seq(), r.Epoch())
+	}
+}

@@ -21,6 +21,10 @@ import (
 // batch: serial queries, stabs and builds.
 const SerialWorker = obs.SerialWorker
 
+// NoShard is the OpMetrics.Shard value of series recorded outside any
+// sharded store; inside one, Shard is the 0-based shard number.
+const NoShard = obs.NoShard
+
 // ErrBoundExceeded reports an operation whose measured I/O breached its
 // kind's declared theorem bound with strict bounds armed
 // (Options.StrictBounds). Errors wrapping it are *BoundError values
@@ -145,10 +149,13 @@ func toHistogram(s obs.HistSnapshot) Histogram {
 // and cache-hit distributions plus the bound-ratio distribution.
 type OpMetrics struct {
 	// Kind is the index's registry name; Name the operation; Worker the
-	// batch worker (SerialWorker for serial ops and builds).
+	// batch worker (SerialWorker for serial ops and builds). Shard is the
+	// shard that recorded the series inside a sharded store, NoShard
+	// everywhere else.
 	Kind   string
 	Name   string
 	Worker int
+	Shard  int
 	// Ops counts completed operations; Results their summed output sizes.
 	Ops     int64
 	Results int64
@@ -183,6 +190,7 @@ func (c core) Metrics() Metrics {
 			Kind:          s.Kind,
 			Name:          s.Name,
 			Worker:        s.Worker,
+			Shard:         s.Shard,
 			Ops:           s.Ops,
 			Results:       s.Results,
 			Reads:         toHistogram(s.Reads),

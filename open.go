@@ -2,6 +2,7 @@ package pathcache
 
 import (
 	"fmt"
+	"os"
 
 	"pathcache/internal/engine"
 )
@@ -32,10 +33,39 @@ type Index interface {
 
 // Open reopens any file-backed index, dispatching on the kind byte the
 // file's metadata page records: the result is the same concrete type the
-// matching OpenXxxIndex function returns. Files whose build never
-// committed yield an error wrapping ErrNoIndex.
+// matching OpenXxxIndex function returns. A directory dispatches to
+// OpenSharded. Files whose build never committed yield an error wrapping
+// ErrNoIndex.
 func Open(path string) (Index, error) {
-	be, err := engine.Open(path)
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		s, err := OpenSharded(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return openIndexWith(path, nil)
+}
+
+// openIndexWith is Open with per-open runtime options (buffer pool, pager
+// wrapper, tracer, bound sentinels) — the seam the sharded router opens
+// every shard through, so each shard gets its own pool and its own metric
+// registry.
+func openIndexWith(path string, opts *Options) (Index, error) {
+	var cfg engine.Config
+	if opts != nil {
+		cfg = engine.Config{
+			BufferPoolPages: opts.BufferPoolPages,
+			WrapPager:       opts.WrapPager,
+			StrictBounds:    opts.StrictBounds,
+			BoundMaxRatio:   opts.BoundMaxRatio,
+			BoundSlack:      opts.BoundSlack,
+		}
+		if opts.Tracer != nil {
+			cfg.Tracer = tracerAdapter{t: opts.Tracer}
+		}
+	}
+	be, err := engine.OpenWith(path, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
@@ -66,4 +96,5 @@ var (
 	_ Index = (*StabbingIndex)(nil)
 	_ Index = (*WindowIndex)(nil)
 	_ Index = (*LSMIndex)(nil)
+	_ Index = (*Sharded)(nil)
 )

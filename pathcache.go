@@ -192,6 +192,12 @@ func newCore(opts *Options) (core, error) {
 	return core{be: be}, nil
 }
 
+// backend exposes the engine backend to in-package composites: the sharded
+// router reaches each shard's metric registry and store counters through
+// it. Every index type embeds core, so any Index opened in-package can be
+// asserted to the backender seam.
+func (c core) backend() *engine.Backend { return c.be }
+
 // Stats reports the cumulative I/O counters of the underlying store.
 func (c core) Stats() Stats {
 	s := c.be.Stats()

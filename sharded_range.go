@@ -1,0 +1,196 @@
+package pathcache
+
+import (
+	"fmt"
+	"sync"
+
+	"pathcache/internal/shard"
+)
+
+// ShardedRange is the horizontally partitioned form of the paper's
+// 1-dimensional baseline: N independent B+-trees behind a range partition
+// of the key space. Search routes to exactly the owning shard; Range walks
+// the overlapping shards in ascending order, so iteration order matches a
+// single tree's.
+type ShardedRange struct {
+	splits []int64
+	shards []*RangeIndex
+	mu     sync.Mutex // serializes Insert/Delete with Close
+	closed bool
+}
+
+// NewShardedRange creates an empty sharded B+-tree with len(splits)+1
+// shards: shard i owns keys in [splits[i-1], splits[i]), unbounded at the
+// ends. Each shard gets its own store, pool and metric registry from opts.
+func NewShardedRange(splits []int64, opts *Options) (*ShardedRange, error) {
+	for i := 1; i < len(splits); i++ {
+		if splits[i] <= splits[i-1] {
+			return nil, fmt.Errorf("pathcache: shard splits must be strictly ascending")
+		}
+	}
+	if len(splits)+1 > shard.MaxShards {
+		return nil, fmt.Errorf("pathcache: %d shards exceeds the maximum %d", len(splits)+1, shard.MaxShards)
+	}
+	r := &ShardedRange{splits: append([]int64(nil), splits...)}
+	for i := 0; i <= len(splits); i++ {
+		ix, err := NewRangeIndex(cloneShardOptions(opts))
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		ix.backend().Obs().SetShard(i)
+		r.shards = append(r.shards, ix)
+	}
+	return r, nil
+}
+
+// NumShards reports the shard count.
+func (r *ShardedRange) NumShards() int { return len(r.shards) }
+
+// Splits returns a copy of the split keys.
+func (r *ShardedRange) Splits() []int64 { return append([]int64(nil), r.splits...) }
+
+// Insert adds (key, val) to the owning shard.
+func (r *ShardedRange) Insert(key int64, val uint64) error {
+	return r.shards[shard.Locate(r.splits, key)].Insert(key, val)
+}
+
+// Delete removes one (key, val) pair from the owning shard.
+func (r *ShardedRange) Delete(key int64, val uint64) error {
+	return r.shards[shard.Locate(r.splits, key)].Delete(key, val)
+}
+
+// Search reports every value stored under key, consulting exactly the
+// owning shard.
+func (r *ShardedRange) Search(key int64) ([]uint64, error) {
+	return r.shards[shard.Locate(r.splits, key)].Search(key)
+}
+
+// SearchBatch looks every key up concurrently with up to workers
+// goroutines per shard; out[i] holds the values under keys[i]. No Insert
+// or Delete may run during the batch.
+func (r *ShardedRange) SearchBatch(keys []int64, workers int) ([][]uint64, BatchStats, error) {
+	out, per, err := r.SearchBatchShards(keys, workers)
+	return out, foldShardStats(len(keys), per), err
+}
+
+// SearchBatchShards is SearchBatch with per-shard execution statistics.
+func (r *ShardedRange) SearchBatchShards(keys []int64, workers int) ([][]uint64, []ShardBatchStats, error) {
+	out := make([][]uint64, len(keys))
+	per := make([]ShardBatchStats, len(r.shards))
+	subs := make([][]int64, len(r.shards))
+	idxs := make([][]int, len(r.shards))
+	for qi, k := range keys {
+		si := shard.Locate(r.splits, k)
+		subs[si] = append(subs[si], k)
+		idxs[si] = append(idxs[si], qi)
+	}
+	results := make([][][]uint64, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for si := range r.shards {
+		per[si].Shard = si
+		per[si].Queries = len(subs[si])
+		if len(subs[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			results[si], per[si].Stats, errs[si] = r.shards[si].SearchBatch(subs[si], workers)
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for si := range r.shards {
+		for j, qi := range idxs[si] {
+			out[qi] = results[si][j]
+		}
+	}
+	return out, per, nil
+}
+
+// Range visits every (key, val) with lo <= key <= hi in ascending key
+// order across the overlapping shards; fn returning false stops the walk.
+func (r *ShardedRange) Range(lo, hi int64, fn func(key int64, val uint64) bool) error {
+	from, to := shard.Overlap(r.splits, lo, hi)
+	stopped := false
+	for si := from; si < to && !stopped; si++ {
+		err := r.shards[si].Range(lo, hi, func(k int64, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the summed pair count across shards.
+func (r *ShardedRange) Len() int {
+	n := 0
+	for _, ix := range r.shards {
+		n += ix.Len()
+	}
+	return n
+}
+
+// Pages reports the summed storage footprint.
+func (r *ShardedRange) Pages() int {
+	n := 0
+	for _, ix := range r.shards {
+		n += ix.Pages()
+	}
+	return n
+}
+
+// Stats sums each shard's store-level counters.
+func (r *ShardedRange) Stats() Stats {
+	var out Stats
+	for _, ix := range r.shards {
+		st := ix.Stats()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.Pages += st.Pages
+	}
+	return out
+}
+
+// Metrics merges every shard's metric series, each tagged with its shard.
+func (r *ShardedRange) Metrics() Metrics {
+	var out Metrics
+	for _, ix := range r.shards {
+		m := ix.Metrics()
+		out.Inflight += m.Inflight
+		out.Ops = append(out.Ops, m.Ops...)
+	}
+	return out
+}
+
+// Close closes every shard.
+func (r *ShardedRange) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var first error
+	for _, ix := range r.shards {
+		if ix == nil {
+			continue
+		}
+		if err := ix.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
