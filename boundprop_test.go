@@ -9,9 +9,14 @@ import (
 )
 
 // Property suite for the runtime bound sentinels: every persisted kind,
-// built at randomized sizes and page sizes with strict bounds armed, must
-// answer a battery of randomized queries without ever breaching its
-// declared theorem bound (reads ≤ DefaultMaxRatio·bound + DefaultSlack).
+// built at randomized sizes and page sizes with strict bounds armed — and
+// under every page layout × prefetch variant — must answer a battery of
+// randomized queries without ever breaching its declared theorem bound
+// (reads ≤ DefaultMaxRatio·bound + DefaultSlack). The layout variants prove
+// the theorem sentinels hold verbatim under LayoutEytzinger (layouts touch
+// identical pages), and the prefetch variant proves warmed pages never
+// inflate measured reads — prefetched pages surface as cache hits, which the
+// sentinels do not count.
 // This is the executable form of Theorems 3.2–3.5 and the window
 // extension: if an index structure regresses to more I/O than its theorem
 // allows, this suite names the kind, the op, and a seed that reproduces.
@@ -38,14 +43,34 @@ func propSeeds(t *testing.T) []int64 {
 	return []int64{1, 7, 23}
 }
 
+// propVariant is one layout × prefetch dimension of the battery.
+type propVariant struct {
+	name     string
+	layout   Layout
+	prefetch bool
+}
+
+func propVariants() []propVariant {
+	return []propVariant{
+		{name: "sorted", layout: LayoutSorted},
+		{name: "eytzinger", layout: LayoutEytzinger},
+		{name: "eytzinger+prefetch", layout: LayoutEytzinger, prefetch: true},
+	}
+}
+
 // strictProp builds the strict-mode options for one property run: the
 // sentinels are armed at their defaults, and the buffer pool flips on for
 // odd seeds so hit accounting rides along (hits never count as reads, so a
-// pool can only help the bound).
-func strictProp(page int, rng *rand.Rand) *Options {
-	opts := &Options{PageSize: page, StrictBounds: true}
+// pool can only help the bound). A prefetching variant forces the pool on —
+// prefetch warms it — and must likewise never hurt the bound.
+func strictProp(page int, rng *rand.Rand, v propVariant) *Options {
+	opts := &Options{PageSize: page, StrictBounds: true, Layout: v.layout}
 	if rng.Intn(2) == 1 {
 		opts.BufferPoolPages = 64
+	}
+	if v.prefetch {
+		opts.BufferPoolPages = 64
+		opts.PrefetchWorkers = 2
 	}
 	return opts
 }
@@ -59,13 +84,13 @@ func propScheme(rng *rand.Rand) Scheme {
 // returned error is a sentinel breach (or a genuine failure).
 type boundKind struct {
 	name string
-	run  func(n, page int, seed int64) error
+	run  func(n, page int, seed int64, v propVariant) error
 }
 
 var boundKinds = []boundKind{
-	{"twosided", func(n, page int, seed int64) error {
+	{"twosided", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		ix, err := NewTwoSidedIndex(uniformPoints(n, propDomain, seed), propScheme(rng), strictProp(page, rng))
+		ix, err := NewTwoSidedIndex(uniformPoints(n, propDomain, seed), propScheme(rng), strictProp(page, rng, v))
 		if err != nil {
 			return err
 		}
@@ -82,9 +107,9 @@ var boundKinds = []boundKind{
 		_, _, err = ix.QueryBatch(qs, 4)
 		return err
 	}},
-	{"threeside", func(n, page int, seed int64) error {
+	{"threeside", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		ix, err := NewThreeSidedIndex(uniformPoints(n, propDomain, seed), strictProp(page, rng))
+		ix, err := NewThreeSidedIndex(uniformPoints(n, propDomain, seed), strictProp(page, rng, v))
 		if err != nil {
 			return err
 		}
@@ -109,36 +134,36 @@ var boundKinds = []boundKind{
 		_, _, err = ix.QueryBatch(qs, 4)
 		return err
 	}},
-	{"segment", func(n, page int, seed int64) error {
+	{"segment", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		ix, err := NewSegmentIndex(uniformIntervals(n, propDomain, propDomain/10, seed), true, strictProp(page, rng))
+		ix, err := NewSegmentIndex(uniformIntervals(n, propDomain, propDomain/10, seed), true, strictProp(page, rng, v))
 		if err != nil {
 			return err
 		}
 		defer ix.Close()
 		return propStabBattery(rng, ix.Stab, ix.StabBatch)
 	}},
-	{"interval", func(n, page int, seed int64) error {
+	{"interval", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		ix, err := NewIntervalIndex(uniformIntervals(n, propDomain, propDomain/10, seed), true, strictProp(page, rng))
+		ix, err := NewIntervalIndex(uniformIntervals(n, propDomain, propDomain/10, seed), true, strictProp(page, rng, v))
 		if err != nil {
 			return err
 		}
 		defer ix.Close()
 		return propStabBattery(rng, ix.Stab, ix.StabBatch)
 	}},
-	{"stabbing", func(n, page int, seed int64) error {
+	{"stabbing", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		ix, err := NewStabbingIndex(uniformIntervals(n, propDomain, propDomain/10, seed), propScheme(rng), strictProp(page, rng))
+		ix, err := NewStabbingIndex(uniformIntervals(n, propDomain, propDomain/10, seed), propScheme(rng), strictProp(page, rng, v))
 		if err != nil {
 			return err
 		}
 		defer ix.Close()
 		return propStabBattery(rng, ix.Stab, ix.StabBatch)
 	}},
-	{"window", func(n, page int, seed int64) error {
+	{"window", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		ix, err := NewWindowIndex(uniformPoints(n, propDomain, seed), strictProp(page, rng))
+		ix, err := NewWindowIndex(uniformPoints(n, propDomain, seed), strictProp(page, rng, v))
 		if err != nil {
 			return err
 		}
@@ -165,9 +190,9 @@ var boundKinds = []boundKind{
 	// threshold is drawn per run so the battery sees different level counts
 	// (small thresholds → many levels, the worst case of the dynamization
 	// tax the declared bound must still cover).
-	{"lsm", func(n, page int, seed int64) error {
+	{"lsm", func(n, page int, seed int64, v propVariant) error {
 		rng := rand.New(rand.NewSource(seed))
-		opts := strictProp(page, rng)
+		opts := strictProp(page, rng, v)
 		opts.MemtableEntries = []int{16, 64, 256, 1024}[rng.Intn(4)]
 		live := uniformPoints(n, propDomain, seed)
 		ix, err := BuildDynamic("twosided", live, opts)
@@ -241,21 +266,30 @@ func TestBoundPropertyAllKinds(t *testing.T) {
 	pages := []int{256, 512, 1024, 2048, 4096}
 	seeds := propSeeds(t)
 	for _, k := range boundKinds {
+		k := k
 		t.Run(k.name, func(t *testing.T) {
-			for _, seed := range seeds {
-				rng := rand.New(rand.NewSource(seed * 31))
-				for _, n := range sizes {
-					page := pages[rng.Intn(len(pages))]
-					if err := k.run(n, page, seed); err != nil {
-						t.Fatal(shrinkFailure(k, n, page, seed, err))
+			for _, v := range propVariants() {
+				v := v
+				t.Run(v.name, func(t *testing.T) {
+					t.Parallel()
+					for _, seed := range seeds {
+						rng := rand.New(rand.NewSource(seed * 31))
+						for _, n := range sizes {
+							page := pages[rng.Intn(len(pages))]
+							if err := k.run(n, page, seed, v); err != nil {
+								t.Fatal(shrinkFailure(k, v, n, page, seed, err))
+							}
+						}
 					}
-				}
-			}
-			if !testing.Short() {
-				// One large instance per kind; page ≥ 1024 keeps build time sane.
-				if err := k.run(100_000, 1024, seeds[0]); err != nil {
-					t.Fatal(shrinkFailure(k, 100_000, 1024, seeds[0], err))
-				}
+					if !testing.Short() && v.name == "eytzinger+prefetch" {
+						// One large instance per kind, on the variant that
+						// stresses every new moving part at once; page ≥ 1024
+						// keeps build time sane.
+						if err := k.run(100_000, 1024, seeds[0], v); err != nil {
+							t.Fatal(shrinkFailure(k, v, 100_000, 1024, seeds[0], err))
+						}
+					}
+				})
 			}
 		})
 	}
@@ -265,15 +299,15 @@ func TestBoundPropertyAllKinds(t *testing.T) {
 // failure persists (runs are deterministic in (n, page, seed)), then
 // formats the smallest reproducer. The error text itself names the
 // breaching op — BoundError carries the full trace.
-func shrinkFailure(k boundKind, n, page int, seed int64, err error) string {
-	for n/2 >= 50 && k.run(n/2, page, seed) != nil {
+func shrinkFailure(k boundKind, v propVariant, n, page int, seed int64, err error) string {
+	for n/2 >= 50 && k.run(n/2, page, seed, v) != nil {
 		n /= 2
 	}
-	if rerr := k.run(n, page, seed); rerr != nil {
+	if rerr := k.run(n, page, seed, v); rerr != nil {
 		err = rerr
 	}
 	return fmt.Sprintf(
-		"kind %s breaches its theorem bound at n=%d page=%d seed=%d\n"+
-			"reproduce: PC_BOUNDPROP_SEED=%d go test -run 'TestBoundPropertyAllKinds/%s'\nerror: %v",
-		k.name, n, page, seed, seed, k.name, err)
+		"kind %s (%s) breaches its theorem bound at n=%d page=%d seed=%d\n"+
+			"reproduce: PC_BOUNDPROP_SEED=%d go test -run 'TestBoundPropertyAllKinds/%s/%s'\nerror: %v",
+		k.name, v.name, n, page, seed, seed, k.name, v.name, err)
 }

@@ -44,6 +44,12 @@ func TestGoldenOutput(t *testing.T) {
 		{"query", "-in", filepath.Join(dir, "two.pc"), "-q", "30 30", "-limit", "2"},
 		{"build", "-type", "twosided", "-scheme", "iko", "-in", ptsCSV, "-out", filepath.Join(dir, "iko.pc"), "-page", "512"},
 		{"query", "-in", filepath.Join(dir, "iko.pc"), "-q", "30 30"},
+		// The Eytzinger layout must answer byte-identically with identical
+		// page reads: this build/info/query triple pins that next to the
+		// sorted transcript above, and reopen dispatches on the header byte.
+		{"build", "-type", "twosided", "-scheme", "segmented", "-layout", "eytzinger", "-in", ptsCSV, "-out", filepath.Join(dir, "twoe.pc"), "-page", "512"},
+		{"info", "-in", filepath.Join(dir, "twoe.pc")},
+		{"query", "-in", filepath.Join(dir, "twoe.pc"), "-q", "30 30"},
 		{"build", "-type", "threeside", "-in", ptsCSV, "-out", filepath.Join(dir, "three.pc"), "-page", "512"},
 		{"info", "-in", filepath.Join(dir, "three.pc")},
 		{"query", "-in", filepath.Join(dir, "three.pc"), "-q", "20 70 40"},

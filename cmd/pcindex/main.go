@@ -159,6 +159,7 @@ func runBuild(args []string) error {
 	in := fs.String("in", "", "input CSV (points: x,y,id — intervals: lo,hi,id)")
 	out := fs.String("out", "", "output index file (a directory with -shards)")
 	page := fs.Int("page", pathcache.DefaultPageSize, "page size in bytes")
+	layoutName := fs.String("layout", "sorted", "in-page entry layout: sorted|eytzinger")
 	shards := fs.Int("shards", 1, "shard count; >= 2 builds a sharded store under -out")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,7 +167,16 @@ func runBuild(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("build requires -in and -out")
 	}
-	opts := &pathcache.Options{PageSize: *page, Path: *out}
+	var layout pathcache.Layout
+	switch *layoutName {
+	case "sorted":
+		layout = pathcache.LayoutSorted
+	case "eytzinger":
+		layout = pathcache.LayoutEytzinger
+	default:
+		return fmt.Errorf("unknown layout %q (use sorted or eytzinger)", *layoutName)
+	}
+	opts := &pathcache.Options{PageSize: *page, Path: *out, Layout: layout}
 	var sc pathcache.Scheme
 	switch *scheme {
 	case "iko":
@@ -181,7 +191,7 @@ func runBuild(args []string) error {
 
 	if *shards >= 2 {
 		return buildSharded(*typ, *base, *in, *out, pathcache.ShardPlan{Shards: *shards, Scheme: sc, Base: *base},
-			&pathcache.Options{PageSize: *page, MemtableEntries: *memtable})
+			&pathcache.Options{PageSize: *page, MemtableEntries: *memtable, Layout: layout})
 	}
 
 	switch *typ {
@@ -545,6 +555,12 @@ func runInfo(args []string) error {
 		fmt.Printf("kind: %s (%d shards of %s, epoch %d)\n", o.kind, o.sharded.NumShards(), what, o.sharded.Epoch())
 	default:
 		fmt.Printf("kind: %s\n", o.kind)
+	}
+	// Persisted single-tree kinds self-describe their in-page layout (the
+	// header byte dispatch); the LSM tier may mix layouts per level and the
+	// sharded router delegates to its shards, so neither exposes one.
+	if l, ok := o.ix.(interface{ Layout() pathcache.Layout }); ok {
+		fmt.Printf("layout: %s\n", l.Layout())
 	}
 	fmt.Printf("records: %d\npages: %d\n", o.ix.Len(), o.ix.Pages())
 	if o.kind == "lsm" {

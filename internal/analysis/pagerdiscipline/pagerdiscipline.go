@@ -25,9 +25,14 @@
 //     callback. That slice aliases a single page buffer that is overwritten
 //     by the next page read; any copy-free retention (assignment to an outer
 //     variable, append of the slice value, storing it in a field, returning
-//     it) yields records that silently mutate. Decoding
-//     (record.DecodePoint, binary.LittleEndian.Uint64, append(dst, rec...),
-//     copy) is the sanctioned way out.
+//     it) yields records that silently mutate. The zero-copy record views
+//     (record.PointView, record.IntervalView) are typed reslices of the same
+//     buffer, so a view — and any byte-slice a view accessor returns — is
+//     tracked as an alias too, and a method called on an alias outside the
+//     record package is reported: the analyzer cannot prove the receiver is
+//     not retained. Decoding out by value (record.DecodePoint,
+//     record.PointView(rec).Point(), binary.LittleEndian.Uint64,
+//     append(dst, rec...), copy) is the sanctioned way out.
 package pagerdiscipline
 
 import (
@@ -175,10 +180,21 @@ func (c *escapeChecker) isAlias(e ast.Expr) bool {
 	case *ast.SliceExpr:
 		return c.isAlias(e.X)
 	case *ast.CallExpr:
-		// A conversion like []byte(rec) returns the same backing array.
+		// A conversion like []byte(rec) — or to a named view type such as
+		// record.PointView — returns the same backing array.
 		if len(e.Args) == 1 && c.pass.TypesInfo.Types[e.Fun].IsType() {
 			if _, isSlice := c.pass.TypesInfo.TypeOf(e).Underlying().(*types.Slice); isSlice {
 				return c.isAlias(e.Args[0])
+			}
+		}
+		// A record-view accessor with a slice result returns a sub-slice of
+		// its receiver: still the page buffer.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn := analysis.CalleeOf(c.pass.TypesInfo, e); fn != nil &&
+				analysis.PkgIs(fn.Pkg(), "internal/record") && analysis.RecvNamed(fn) != nil {
+				if _, isSlice := c.pass.TypesInfo.TypeOf(e).Underlying().(*types.Slice); isSlice {
+					return c.isAlias(sel.X)
+				}
 			}
 		}
 	}
@@ -276,6 +292,12 @@ func (c *escapeChecker) checkEscapes(n ast.Node) bool {
 		}
 		if c.allowedCallee(n) {
 			return true
+		}
+		// A method invoked on an alias — e.g. a locally defined view type
+		// over the record bytes — can retain its receiver just as a call
+		// can retain an argument.
+		if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && c.isAlias(sel.X) {
+			c.report(sel.X, "receiver of "+exprString(n.Fun)+", which pagerdiscipline cannot prove copies it")
 		}
 		for _, arg := range n.Args {
 			if c.isAlias(arg) {

@@ -82,3 +82,35 @@ func retainViaConversion(p disk.Pager, head disk.PageID) (got []byte, err error)
 }
 
 func sink([]byte) {}
+
+// rawView is a locally defined view over record bytes; the analyzer cannot
+// see whether its methods retain the receiver.
+type rawView []byte
+
+func (r rawView) stash() {}
+
+// retainView leaks the record through the zero-copy view types: a view is a
+// typed reslice of the page buffer, not a copy.
+func retainView(p disk.Pager, head disk.PageID) record.PointView {
+	var hold record.PointView
+	var last []byte
+	_, _ = disk.ScanChain(p, record.PointSize, head, func(rec []byte) bool {
+		v := record.PointView(rec)
+		hold = v                        // want `assigned to variable hold declared outside the callback`
+		last = record.IntervalView(rec) // want `assigned to variable last declared outside the callback`
+		rv := rawView(rec)
+		rv.stash() // want `receiver of rv\.stash, which pagerdiscipline cannot prove copies it`
+		return v.X() < 10
+	})
+	_ = last
+	return hold
+}
+
+// returnView leaks a view built inline in a return position.
+func returnView(p disk.Pager, head disk.PageID) (v record.PointView, err error) {
+	_, err = disk.ScanChain(p, record.PointSize, head, func(rec []byte) bool {
+		v = record.PointView(rec) // want `assigned to variable v declared outside the callback`
+		return false
+	})
+	return v, err
+}

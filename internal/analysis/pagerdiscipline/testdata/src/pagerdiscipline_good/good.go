@@ -59,3 +59,19 @@ func unnamedParam(p disk.Pager, head disk.PageID) error {
 	_, err := disk.ScanChain(p, record.PointSize, head, func([]byte) bool { return true })
 	return err
 }
+
+// viewsByValue reads through the zero-copy views but only lets values —
+// never the view itself — out of the callback.
+func viewsByValue(p disk.Pager, head disk.PageID) ([]record.Point, int64, error) {
+	var pts []record.Point
+	var maxY int64
+	_, err := disk.ScanChain(p, record.PointSize, head, func(rec []byte) bool {
+		v := record.PointView(rec)
+		if y := v.Y(); y > maxY {
+			maxY = y
+		}
+		pts = append(pts, v.Point()) // Point() copies the fields out
+		return true
+	})
+	return pts, maxY, err
+}

@@ -93,9 +93,7 @@ func RunF4(w io.Writer, cfg Config) error {
 	const b = 4
 	n := 64
 	pts := workload.UniformPoints(n, 100, cfg.seed())
-	sorted := append([]record.Point(nil), pts...)
-	pstcore.SortAsc(sorted)
-	root := pstcore.Build(sorted, b)
+	root := pstcore.Build(pstcore.SortedAsc(pts), b)
 
 	tw := newTab(w)
 	fmt.Fprintln(tw, "query (a,b)\tt\tcorner depth\tancestors\tsiblings\tdescendants inside\tdescendants cut")

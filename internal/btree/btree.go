@@ -38,6 +38,7 @@ func (e Entry) less(o Entry) bool {
 // Tree is an external B+-tree. Not safe for concurrent mutation.
 type Tree struct {
 	pager   disk.Pager
+	layout  disk.Layout
 	root    disk.PageID
 	height  int // levels below the root (0 = root is a leaf)
 	size    int
@@ -45,28 +46,53 @@ type Tree struct {
 	intCap  int // max separator count of an internal node
 }
 
+// Layout reports the node layout the tree writes and searches with.
+func (t *Tree) Layout() disk.Layout { return t.layout }
+
 // ErrNotFound is returned by Delete when the entry is absent.
 var ErrNotFound = errors.New("btree: entry not found")
 
 // Node layout.
 //
-// Common header: kind uint8 (1=leaf, 2=internal), count uint16.
+// Common header: kind uint8 (1=leaf, 2=internal), layout uint8
+// (disk.Layout), count uint16.
 // Leaf:     [header][next PageID int64][entries: key int64, val uint64]...
 // Internal: [header][child0 PageID][sep entries: key, val, child PageID]...
+//
+// Under disk.LayoutSorted the entry slots hold entries in ascending order.
+// Under disk.LayoutEytzinger the slots hold the same entries permuted into
+// implicit-binary-tree order (1-based slot k has children 2k and 2k+1; the
+// in-order traversal of that complete tree is the sorted order). An internal
+// separator's child pointer travels with it, so the pointer at a slot is
+// always the right child of the separator stored there; child0 stays in the
+// fixed header position. Search on an Eytzinger node runs directly over the
+// page bytes — branch-free index arithmetic, no entry decoding, no
+// allocation.
 const (
 	kindLeaf     = 1
 	kindInternal = 2
-	hdrSize      = 3
+	hdrSize      = 4
 	leafFixed    = hdrSize + 8 // header + next pointer
 	leafEntry    = 16
 	intFixed     = hdrSize + 8 // header + child0
 	intEntry     = 24
 )
 
-// New creates an empty tree on p.
+// New creates an empty tree on p under disk.LayoutSorted.
 func New(p disk.Pager) (*Tree, error) {
+	return NewLayout(p, disk.LayoutSorted)
+}
+
+// NewLayout creates an empty tree on p with an explicit node layout. Both
+// layouts support the full API, including Insert and Delete: mutations on an
+// Eytzinger tree un-permute the node on read and re-permute on write.
+func NewLayout(p disk.Pager, layout disk.Layout) (*Tree, error) {
+	if !layout.Valid() {
+		return nil, fmt.Errorf("btree: unknown layout %d", layout)
+	}
 	t := &Tree{
 		pager:   p,
+		layout:  layout,
 		leafCap: (p.PageSize() - leafFixed) / leafEntry,
 		intCap:  (p.PageSize() - intFixed) / intEntry,
 	}
@@ -92,32 +118,87 @@ type node struct {
 	children []disk.PageID
 }
 
+// checkHeader validates a node header against the page size before any slot
+// bytes are trusted, returning the kind, layout and count. Every violation
+// wraps disk.ErrCorrupt so callers (and the fuzzers) can classify it.
+func checkHeader(buf []byte, id disk.PageID) (kind byte, layout disk.Layout, count int, err error) {
+	kind = buf[0]
+	if kind != kindLeaf && kind != kindInternal {
+		return 0, 0, 0, fmt.Errorf("btree: corrupt node %d kind %d: %w", id, kind, disk.ErrCorrupt)
+	}
+	layout, lerr := disk.CheckLayout(buf[1])
+	if lerr != nil {
+		return 0, 0, 0, fmt.Errorf("btree: node %d: %w", id, lerr)
+	}
+	count = int(le16(buf[2:]))
+	fixed, entry := leafFixed, leafEntry
+	if kind == kindInternal {
+		fixed, entry = intFixed, intEntry
+	}
+	if fixed+count*entry > len(buf) {
+		return 0, 0, 0, fmt.Errorf("btree: node %d count %d overflows page: %w", id, count, disk.ErrCorrupt)
+	}
+	return kind, layout, count, nil
+}
+
+// eytzOrder returns the slot->rank permutation for n entries: ord[s] is the
+// in-order (sorted) position of 0-based Eytzinger slot s in the complete
+// binary tree on n nodes.
+func eytzOrder(n int) []int {
+	ord := make([]int, n)
+	rank := 0
+	var fill func(s int)
+	fill = func(s int) {
+		if s >= n {
+			return
+		}
+		fill(2*s + 1)
+		ord[s] = rank
+		rank++
+		fill(2*s + 2)
+	}
+	fill(0)
+	return ord
+}
+
 func (t *Tree) readNode(id disk.PageID) (*node, error) {
 	buf := make([]byte, t.pager.PageSize())
 	if err := t.pager.Read(id, buf); err != nil {
 		return nil, err
 	}
-	n := &node{kind: buf[0]}
-	count := int(le16(buf[1:]))
-	switch n.kind {
+	kind, layout, count, err := checkHeader(buf, id)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{kind: kind}
+	var ord []int
+	if layout == disk.LayoutEytzinger {
+		ord = eytzOrder(count)
+	}
+	at := func(s int) int {
+		if ord != nil {
+			return ord[s]
+		}
+		return s
+	}
+	switch kind {
 	case kindLeaf:
 		n.next = disk.PageID(le64(buf[hdrSize:]))
 		n.entries = make([]Entry, count)
-		for i := 0; i < count; i++ {
-			off := leafFixed + i*leafEntry
-			n.entries[i] = Entry{Key: int64(le64(buf[off:])), Val: le64(buf[off+8:])}
+		for s := 0; s < count; s++ {
+			off := leafFixed + s*leafEntry
+			n.entries[at(s)] = Entry{Key: int64(le64(buf[off:])), Val: le64(buf[off+8:])}
 		}
 	case kindInternal:
 		n.children = make([]disk.PageID, count+1)
 		n.children[0] = disk.PageID(le64(buf[hdrSize:]))
 		n.entries = make([]Entry, count)
-		for i := 0; i < count; i++ {
-			off := intFixed + i*intEntry
+		for s := 0; s < count; s++ {
+			off := intFixed + s*intEntry
+			i := at(s)
 			n.entries[i] = Entry{Key: int64(le64(buf[off:])), Val: le64(buf[off+8:])}
 			n.children[i+1] = disk.PageID(le64(buf[off+16:]))
 		}
-	default:
-		return nil, fmt.Errorf("btree: corrupt node %d kind %d: %w", id, n.kind, disk.ErrCorrupt)
 	}
 	return n, nil
 }
@@ -125,19 +206,33 @@ func (t *Tree) readNode(id disk.PageID) (*node, error) {
 func (t *Tree) writeNode(id disk.PageID, n *node) error {
 	buf := make([]byte, t.pager.PageSize())
 	buf[0] = n.kind
-	put16(buf[1:], uint16(len(n.entries)))
+	buf[1] = byte(t.layout)
+	put16(buf[2:], uint16(len(n.entries)))
+	var ord []int
+	if t.layout == disk.LayoutEytzinger {
+		ord = eytzOrder(len(n.entries))
+	}
+	at := func(s int) int {
+		if ord != nil {
+			return ord[s]
+		}
+		return s
+	}
 	switch n.kind {
 	case kindLeaf:
 		put64(buf[hdrSize:], uint64(n.next))
-		for i, e := range n.entries {
-			off := leafFixed + i*leafEntry
+		for s := range n.entries {
+			e := n.entries[at(s)]
+			off := leafFixed + s*leafEntry
 			put64(buf[off:], uint64(e.Key))
 			put64(buf[off+8:], e.Val)
 		}
 	case kindInternal:
 		put64(buf[hdrSize:], uint64(n.children[0]))
-		for i, e := range n.entries {
-			off := intFixed + i*intEntry
+		for s := range n.entries {
+			i := at(s)
+			e := n.entries[i]
+			off := intFixed + s*intEntry
 			put64(buf[off:], uint64(e.Key))
 			put64(buf[off+8:], e.Val)
 			put64(buf[off+16:], uint64(n.children[i+1]))
@@ -470,6 +565,11 @@ func (t *Tree) Range(lo, hi int64, fn func(key int64, val uint64) bool) error {
 	if lo > hi {
 		return nil
 	}
+	if t.layout == disk.LayoutEytzinger {
+		// Eytzinger trees search through the zero-copy branchless path; the
+		// sorted layout keeps the decoded-node reader below.
+		return t.rangeRaw(lo, hi, fn)
+	}
 	start := Entry{Key: lo, Val: 0}
 	id := t.root
 	for {
@@ -627,7 +727,12 @@ func put64(b []byte, v uint64) {
 // writes instead of n·O(log_B n). Entries are sorted internally if needed;
 // duplicate (Key, Val) pairs are rejected.
 func BulkLoad(p disk.Pager, entries []Entry) (*Tree, error) {
-	t, err := New(p)
+	return BulkLoadLayout(p, entries, disk.LayoutSorted)
+}
+
+// BulkLoadLayout is BulkLoad with an explicit node layout.
+func BulkLoadLayout(p disk.Pager, entries []Entry, layout disk.Layout) (*Tree, error) {
+	t, err := NewLayout(p, layout)
 	if err != nil {
 		return nil, err
 	}

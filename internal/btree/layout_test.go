@@ -1,0 +1,101 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathcache/internal/disk"
+)
+
+// eytzOrder must be the inverse of the in-order traversal of the complete
+// binary tree: sorting the slots by rank recovers 0..n-1.
+func TestEytzOrder(t *testing.T) {
+	for n := 0; n <= 70; n++ {
+		ord := eytzOrder(n)
+		seen := make([]bool, n)
+		for s, r := range ord {
+			if r < 0 || r >= n || seen[r] {
+				t.Fatalf("n=%d: slot %d has bad rank %d", n, s, r)
+			}
+			seen[r] = true
+		}
+		// In-order successor arithmetic must enumerate ranks in order.
+		rank := 0
+		for k := eytzMin(n); k != 0; k = eytzSucc(k, n) {
+			if ord[k-1] != rank {
+				t.Fatalf("n=%d: successor walk visits rank %d at step %d", n, ord[k-1], rank)
+			}
+			rank++
+		}
+		if rank != n {
+			t.Fatalf("n=%d: successor walk saw %d slots", n, rank)
+		}
+	}
+}
+
+// A tree bulk-loaded under LayoutEytzinger must answer every query exactly
+// like its sorted twin, with identical page reads, and survive mutation.
+func TestEytzingerDifferential(t *testing.T) {
+	for _, pageSize := range []int{256, 1024, 4096} {
+		rng := rand.New(rand.NewSource(int64(pageSize)))
+		n := 5000
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Key: int64(rng.Intn(n / 2)), Val: uint64(i)}
+		}
+		ss, es := disk.MustStore(pageSize), disk.MustStore(pageSize)
+		st, err := BulkLoad(ss, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		et, err := BulkLoadLayout(es, entries, disk.LayoutEytzinger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := et.Check(); err != nil {
+			t.Fatalf("page %d: eytzinger Check: %v", pageSize, err)
+		}
+		for i := 0; i < 300; i++ {
+			lo := int64(rng.Intn(n/2)) - 5
+			hi := lo + int64(rng.Intn(40))
+			var sc, ec disk.Counter
+			var sr, er []Entry
+			serr := st.WithPager(disk.WithCounter(ss, &sc)).Range(lo, hi, func(k int64, v uint64) bool {
+				sr = append(sr, Entry{k, v})
+				return true
+			})
+			eerr := et.WithPager(disk.WithCounter(es, &ec)).Range(lo, hi, func(k int64, v uint64) bool {
+				er = append(er, Entry{k, v})
+				return true
+			})
+			if serr != nil || eerr != nil {
+				t.Fatalf("range errs: %v %v", serr, eerr)
+			}
+			if len(sr) != len(er) {
+				t.Fatalf("page %d [%d,%d]: %d vs %d results", pageSize, lo, hi, len(sr), len(er))
+			}
+			for j := range sr {
+				if sr[j] != er[j] {
+					t.Fatalf("page %d [%d,%d] result %d: %v vs %v", pageSize, lo, hi, j, sr[j], er[j])
+				}
+			}
+			if sc.Stats().Reads != ec.Stats().Reads {
+				t.Fatalf("page %d [%d,%d]: reads %d vs %d", pageSize, lo, hi, sc.Stats().Reads, ec.Stats().Reads)
+			}
+		}
+		// Mutations re-permute on write; the tree must stay valid.
+		for i := 0; i < 500; i++ {
+			if err := et.Insert(int64(rng.Intn(100)), uint64(n+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 250; i++ {
+			if err := et.Delete(entries[i].Key, entries[i].Val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := et.Check(); err != nil {
+			t.Fatalf("page %d: post-mutation Check: %v", pageSize, err)
+		}
+	}
+}

@@ -958,7 +958,10 @@ func (t *Tree) rebuildSubtree(victim *region) error {
 // initial loading, costing one bottom-up build instead of n buffered
 // updates. Any pending buffered operations are discarded.
 func (t *Tree) BulkLoad(pts []record.Point) error {
-	if err := t.rebuildWith(t.root, append([]record.Point(nil), pts...)); err != nil {
+	// SortedAsc skips the defensive copy when the input arrives pre-sorted
+	// (the LSM and shard rebuild pipelines feed merge-sorted runs);
+	// rebuildWith's in-place sort is then a no-op on the aliased slice.
+	if err := t.rebuildWith(t.root, pstcore.SortedAsc(pts)); err != nil {
 		return err
 	}
 	t.n = len(pts)

@@ -81,8 +81,14 @@ type QueryStats struct {
 	Results     int
 }
 
-// Build constructs the structure over pts.
+// Build constructs the structure over pts under disk.LayoutSorted. The
+// input slice is not retained or modified.
 func Build(p disk.Pager, pts []record.Point) (*Tree, error) {
+	return BuildLayout(p, pts, disk.LayoutSorted)
+}
+
+// BuildLayout is Build with an explicit skeletal page layout.
+func BuildLayout(p disk.Pager, pts []record.Point, layout disk.Layout) (*Tree, error) {
 	b := disk.ChainCap(p.PageSize(), record.PointSize)
 	if b < 2 {
 		return nil, fmt.Errorf("ext3side: page size %d holds %d points; need >= 2", p.PageSize(), b)
@@ -92,14 +98,12 @@ func Build(p disk.Pager, pts []record.Point) (*Tree, error) {
 	if t.segLen < 1 {
 		t.segLen = 1
 	}
-	sorted := append([]record.Point(nil), pts...)
-	pstcore.SortAsc(sorted)
-	root := pstcore.Build(sorted, b)
+	root := pstcore.Build(pstcore.SortedAsc(pts), b)
 	bn, err := t.persist(root, 0, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	skel, err := skeletal.Build(p, bn, payloadSize)
+	skel, err := skeletal.BuildLayout(p, bn, payloadSize, layout)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +238,9 @@ func (t *Tree) B() int { return t.b }
 
 // Height reports the binary tree height.
 func (t *Tree) Height() int { return t.skel.Height() }
+
+// Layout reports the skeletal page layout the tree was built with.
+func (t *Tree) Layout() disk.Layout { return t.skel.Layout() }
 
 // SpacePages breaks down storage: skeleton, point blocks, caches.
 func (t *Tree) SpacePages() (skeleton, blocks, caches int) {

@@ -258,7 +258,9 @@ func (q *tsQuery) explore(ref skeletal.NodeRef) error {
 	if err != nil {
 		return err
 	}
-	payload := append([]byte(nil), n.Payload...)
+	// n.Payload aliases the walker's private immutable view buffer, which
+	// outlives pool eviction — no defensive copy needed.
+	payload := n.Payload
 	left, right := n.Left, n.Right
 	if err := q.scanBlockWindow(payload); err != nil {
 		return err
@@ -285,9 +287,9 @@ func (q *tsQuery) scanBlockWindow(payload []byte) error {
 	}
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.X >= q.a1 && p.X <= q.a2 && p.Y >= q.b {
-			q.out = append(q.out, p)
+		v := record.PointView(rec)
+		if x := v.X(); x >= q.a1 && x <= q.a2 && v.Y() >= q.b {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -304,12 +306,12 @@ func (q *tsQuery) scanBlockWindow(payload []byte) error {
 func (q *tsQuery) scanYDescWindow(head disk.PageID) error {
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.Y < q.b {
+		v := record.PointView(rec)
+		if v.Y() < q.b {
 			return false
 		}
-		if p.X >= q.a1 && p.X <= q.a2 {
-			q.out = append(q.out, p)
+		if x := v.X(); x >= q.a1 && x <= q.a2 {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -327,12 +329,13 @@ func (q *tsQuery) scanYDescWindow(head disk.PageID) error {
 func (q *tsQuery) scanXDescFromA1(head disk.PageID) error {
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.X < q.a1 {
+		v := record.PointView(rec)
+		x := v.X()
+		if x < q.a1 {
 			return false
 		}
-		if p.X <= q.a2 && p.Y >= q.b {
-			q.out = append(q.out, p)
+		if x <= q.a2 && v.Y() >= q.b {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -348,12 +351,13 @@ func (q *tsQuery) scanXDescFromA1(head disk.PageID) error {
 func (q *tsQuery) scanXAscToA2(head disk.PageID) error {
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.X > q.a2 {
+		v := record.PointView(rec)
+		x := v.X()
+		if x > q.a2 {
 			return false
 		}
-		if p.X >= q.a1 && p.Y >= q.b {
-			q.out = append(q.out, p)
+		if x >= q.a1 && v.Y() >= q.b {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true

@@ -28,7 +28,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"pathcache/internal/disk"
 	"pathcache/internal/pstcore"
@@ -98,10 +97,15 @@ type QueryStats struct {
 	Results     int
 }
 
-// Build constructs a tree over pts with the given scheme. The input slice is
-// not modified.
+// Build constructs a tree over pts with the given scheme under
+// disk.LayoutSorted. The input slice is not modified.
 func Build(p disk.Pager, pts []record.Point, scheme Scheme) (*Tree, error) {
-	return BuildChunked(p, pts, scheme, 0)
+	return BuildChunkedLayout(p, pts, scheme, 0, disk.LayoutSorted)
+}
+
+// BuildLayout is Build with an explicit skeletal page layout.
+func BuildLayout(p disk.Pager, pts []record.Point, scheme Scheme, layout disk.Layout) (*Tree, error) {
+	return BuildChunkedLayout(p, pts, scheme, 0, layout)
 }
 
 // BuildChunked is Build with an explicit cache chunk length in tree levels
@@ -110,6 +114,11 @@ func Build(p disk.Pager, pts []record.Point, scheme Scheme) (*Tree, error) {
 // smaller caches but more chunk boundaries per query, longer chunks the
 // reverse, with Basic as the limiting case.
 func BuildChunked(p disk.Pager, pts []record.Point, scheme Scheme, chunkLen int) (*Tree, error) {
+	return BuildChunkedLayout(p, pts, scheme, chunkLen, disk.LayoutSorted)
+}
+
+// BuildChunkedLayout is BuildChunked with an explicit skeletal page layout.
+func BuildChunkedLayout(p disk.Pager, pts []record.Point, scheme Scheme, chunkLen int, layout disk.Layout) (*Tree, error) {
 	b := disk.ChainCap(p.PageSize(), record.PointSize)
 	if b < 2 {
 		return nil, fmt.Errorf("extpst: page size %d holds %d points; need >= 2", p.PageSize(), b)
@@ -122,14 +131,12 @@ func BuildChunked(p disk.Pager, pts []record.Point, scheme Scheme, chunkLen int)
 	if chunkLen > 0 {
 		t.segLen = chunkLen
 	}
-	sorted := append([]record.Point(nil), pts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
-	root := pstcore.Build(sorted, b)
+	root := pstcore.Build(pstcore.SortedAsc(pts), b)
 	bn, err := t.persist(root, 0, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	skel, err := skeletal.Build(p, bn, payloadSize)
+	skel, err := skeletal.BuildLayout(p, bn, payloadSize, layout)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +271,9 @@ func (t *Tree) Scheme() Scheme { return t.scheme }
 
 // SegLen reports the chunk length in levels (meaningful for Segmented).
 func (t *Tree) SegLen() int { return t.segLen }
+
+// Layout reports the skeletal page layout the tree was built with.
+func (t *Tree) Layout() disk.Layout { return t.skel.Layout() }
 
 // Height reports the binary tree height.
 func (t *Tree) Height() int { return t.skel.Height() }

@@ -145,9 +145,9 @@ func (q *pstQuery) scanBlock(payload []byte) error {
 	}
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.X >= q.a && p.Y >= q.b {
-			q.out = append(q.out, p)
+		v := record.PointView(rec)
+		if v.X() >= q.a && v.Y() >= q.b {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -165,12 +165,12 @@ func (q *pstQuery) scanBlock(payload []byte) error {
 func (q *pstQuery) scanAList(head disk.PageID) error {
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.X < q.a {
+		v := record.PointView(rec)
+		if v.X() < q.a {
 			return false
 		}
-		if p.Y >= q.b {
-			q.out = append(q.out, p)
+		if v.Y() >= q.b {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -187,12 +187,12 @@ func (q *pstQuery) scanAList(head disk.PageID) error {
 func (q *pstQuery) scanSList(head disk.PageID) error {
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.Y < q.b {
+		v := record.PointView(rec)
+		if v.Y() < q.b {
 			return false
 		}
-		if p.X >= q.a {
-			q.out = append(q.out, p)
+		if v.X() >= q.a {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -212,8 +212,9 @@ func (q *pstQuery) explore(ref skeletal.NodeRef) error {
 	if err != nil {
 		return err
 	}
-	// Copy what outlives the next walker read.
-	payload := append([]byte(nil), n.Payload...)
+	// n.Payload aliases the walker's private immutable view buffer, which
+	// outlives later walker reads — no defensive copy needed.
+	payload := n.Payload
 	left, right := n.Left, n.Right
 	if err := q.scanBlock(payload); err != nil {
 		return err

@@ -135,7 +135,7 @@ func (q *regionQuery) continueSibling(parent skeletal.Node, sibRef skeletal.Node
 	if err != nil {
 		return err
 	}
-	payload := append([]byte(nil), sib.Payload...)
+	payload := sib.Payload // walker view buffers are private and immutable
 	left, right := sib.Left, sib.Right
 	if head, count := rpList(payload, offY2); count > 0 {
 		if _, err := q.scanYDesc(head, false); err != nil {
@@ -179,7 +179,7 @@ func (q *regionQuery) exploreRegion(ref skeletal.NodeRef) error {
 	if err != nil {
 		return err
 	}
-	payload := append([]byte(nil), n.Payload...)
+	payload := n.Payload // walker view buffers are private and immutable
 	left, right := n.Left, n.Right
 	head1, count1 := rpList(payload, offY1)
 	if count1 > 0 {
@@ -215,13 +215,13 @@ func (q *regionQuery) exploreRegion(ref skeletal.NodeRef) error {
 func (q *regionQuery) scanXDesc(head disk.PageID) (stopped bool, err error) {
 	matched := 0
 	pages, err := disk.ScanChain(q.rt.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.X < q.a {
+		v := record.PointView(rec)
+		if v.X() < q.a {
 			stopped = true
 			return false
 		}
-		if p.Y >= q.b {
-			q.out = append(q.out, p)
+		if v.Y() >= q.b {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -239,13 +239,13 @@ func (q *regionQuery) scanXDesc(head disk.PageID) (stopped bool, err error) {
 func (q *regionQuery) scanYDesc(head disk.PageID, filterX bool) (stopped bool, err error) {
 	matched := 0
 	pages, err := disk.ScanChain(q.rt.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.Y < q.b {
+		v := record.PointView(rec)
+		if v.Y() < q.b {
 			stopped = true
 			return false
 		}
-		if !filterX || p.X >= q.a {
-			q.out = append(q.out, p)
+		if !filterX || v.X() >= q.a {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true

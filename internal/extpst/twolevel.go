@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 
 	"pathcache/internal/disk"
 	"pathcache/internal/pstcore"
@@ -127,9 +126,7 @@ func buildLevel(p disk.Pager, b int, pts []record.Point, level, maxLevels int) (
 	if rt.segLen < 1 {
 		rt.segLen = 1
 	}
-	sorted := append([]record.Point(nil), pts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
-	mem := pstcore.Build(sorted, regionCap)
+	mem := pstcore.Build(pstcore.SortedAsc(pts), regionCap)
 	bn, err := rt.persistRegion(mem, level, maxLevels, 0, nil, nil)
 	if err != nil {
 		return nil, err

@@ -57,29 +57,33 @@ type buildNode struct {
 	left, right *buildNode
 }
 
-// Build constructs the tree over pts. The input slice is not retained.
+// Build constructs the tree over pts under disk.LayoutSorted. The input
+// slice is not retained or modified.
 func Build(p disk.Pager, pts []record.Point) (*Tree, error) {
+	return BuildLayout(p, pts, disk.LayoutSorted)
+}
+
+// BuildLayout is Build with an explicit skeletal page layout.
+func BuildLayout(p disk.Pager, pts []record.Point, layout disk.Layout) (*Tree, error) {
 	b := disk.ChainCap(p.PageSize(), record.PointSize)
 	if b < 2 {
 		return nil, fmt.Errorf("extwindow: page size %d holds %d points; need >= 2", p.PageSize(), b)
 	}
 	t := &Tree{pager: p, b: b, n: len(pts)}
 	if len(pts) == 0 {
-		skel, err := skeletal.Build(p, nil, payloadSize)
+		skel, err := skeletal.BuildLayout(p, nil, payloadSize, layout)
 		if err != nil {
 			return nil, err
 		}
 		t.skel = skel
 		return t, nil
 	}
-	sorted := append([]record.Point(nil), pts...)
-	pstcore.SortAsc(sorted)
-	root := buildMem(sorted, b)
+	root := buildMem(pstcore.SortedAsc(pts), b)
 	bn, err := t.persist(root)
 	if err != nil {
 		return nil, err
 	}
-	skel, err := skeletal.Build(p, bn, payloadSize)
+	skel, err := skeletal.BuildLayout(p, bn, payloadSize, layout)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +217,9 @@ func (t *Tree) SpacePages() (skeleton, lists, dirs int) {
 func (t *Tree) TotalPages() int {
 	return t.skel.NumPages() + t.listPages + t.dirPages
 }
+
+// Layout reports the skeletal page layout the tree was built with.
+func (t *Tree) Layout() disk.Layout { return t.skel.Layout() }
 
 // Meta is the reopen metadata of a window tree.
 type Meta struct {

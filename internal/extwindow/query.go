@@ -71,7 +71,7 @@ func (q *winQuery) sidePath(ref skeletal.NodeRef, leftSide bool) error {
 		if err != nil {
 			return err
 		}
-		payload := append([]byte(nil), n.Payload...)
+		payload := n.Payload // walker view buffers are private and immutable
 		left, right, key, isLeaf := n.Left, n.Right, n.Key, n.IsLeaf()
 		if isLeaf {
 			return q.scanFiltered(payload)
@@ -131,12 +131,13 @@ func (q *winQuery) scanCanonical(ref skeletal.NodeRef) error {
 
 	matched := 0
 	pages, err = disk.ScanChain(q.t.pager, record.PointSize, start, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.Y > q.y2 {
+		v := record.PointView(rec)
+		y := v.Y()
+		if y > q.y2 {
 			return false
 		}
-		if p.Y >= q.y1 && p.X >= q.x1 && p.X <= q.x2 {
-			q.out = append(q.out, p)
+		if x := v.X(); y >= q.y1 && x >= q.x1 && x <= q.x2 {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true
@@ -156,12 +157,13 @@ func (q *winQuery) scanFiltered(payload []byte) error {
 	}
 	matched := 0
 	pages, err := disk.ScanChain(q.t.pager, record.PointSize, head, func(rec []byte) bool {
-		p := record.DecodePoint(rec)
-		if p.Y > q.y2 {
+		v := record.PointView(rec)
+		y := v.Y()
+		if y > q.y2 {
 			return false
 		}
-		if p.Y >= q.y1 && p.X >= q.x1 && p.X <= q.x2 {
-			q.out = append(q.out, p)
+		if x := v.X(); y >= q.y1 && x >= q.x1 && x <= q.x2 {
+			q.out = append(q.out, v.Point())
 			matched++
 		}
 		return true

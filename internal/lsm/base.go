@@ -61,8 +61,9 @@ type Base interface {
 	Kind() byte
 	Name() string
 	// Build seals pts (sorted by record.Point.Less) into a fresh static
-	// structure on p. Build is never called with an empty slice.
-	Build(p disk.Pager, pts []record.Point) (LevelTree, error)
+	// structure on p with the given page layout. Build is never called
+	// with an empty slice.
+	Build(p disk.Pager, pts []record.Point, layout disk.Layout) (LevelTree, error)
 	Reopen(p disk.Pager, meta []byte) (LevelTree, error)
 }
 
@@ -98,8 +99,8 @@ type pstBase struct {
 func (b pstBase) Kind() byte   { return b.kind }
 func (b pstBase) Name() string { return b.name }
 
-func (b pstBase) Build(p disk.Pager, pts []record.Point) (LevelTree, error) {
-	t, err := extpst.Build(p, pts, extpst.Segmented)
+func (b pstBase) Build(p disk.Pager, pts []record.Point, layout disk.Layout) (LevelTree, error) {
+	t, err := extpst.BuildLayout(p, pts, extpst.Segmented, layout)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: sealing %s level: %w", b.name, err)
 	}
@@ -146,8 +147,8 @@ type threeSideBase struct{}
 func (threeSideBase) Kind() byte   { return BaseThreeSide }
 func (threeSideBase) Name() string { return "threeside" }
 
-func (threeSideBase) Build(p disk.Pager, pts []record.Point) (LevelTree, error) {
-	t, err := ext3side.Build(p, pts)
+func (threeSideBase) Build(p disk.Pager, pts []record.Point, layout disk.Layout) (LevelTree, error) {
+	t, err := ext3side.BuildLayout(p, pts, layout)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: sealing threeside level: %w", err)
 	}
@@ -187,8 +188,8 @@ type windowBase struct{}
 func (windowBase) Kind() byte   { return BaseWindow }
 func (windowBase) Name() string { return "window" }
 
-func (windowBase) Build(p disk.Pager, pts []record.Point) (LevelTree, error) {
-	t, err := extwindow.Build(p, pts)
+func (windowBase) Build(p disk.Pager, pts []record.Point, layout disk.Layout) (LevelTree, error) {
+	t, err := extwindow.BuildLayout(p, pts, layout)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: sealing window level: %w", err)
 	}
@@ -228,8 +229,8 @@ type segBase struct{}
 func (segBase) Kind() byte   { return BaseSegment }
 func (segBase) Name() string { return "segment" }
 
-func (segBase) Build(p disk.Pager, pts []record.Point) (LevelTree, error) {
-	t, err := extseg.Build(p, toIntervals(pts), extseg.PathCached)
+func (segBase) Build(p disk.Pager, pts []record.Point, layout disk.Layout) (LevelTree, error) {
+	t, err := extseg.BuildLayout(p, toIntervals(pts), extseg.PathCached, layout)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: sealing segment level: %w", err)
 	}
@@ -271,8 +272,8 @@ type intBase struct{}
 func (intBase) Kind() byte   { return BaseInterval }
 func (intBase) Name() string { return "interval" }
 
-func (intBase) Build(p disk.Pager, pts []record.Point) (LevelTree, error) {
-	t, err := extint.Build(p, toIntervals(pts), extint.PathCached)
+func (intBase) Build(p disk.Pager, pts []record.Point, layout disk.Layout) (LevelTree, error) {
+	t, err := extint.BuildLayout(p, toIntervals(pts), extint.PathCached, layout)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: sealing interval level: %w", err)
 	}

@@ -73,6 +73,20 @@ func SortAsc(pts []record.Point) {
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Less(pts[j]) })
 }
 
+// SortedAsc returns pts in ascending (X, Y, ID) order without mutating the
+// input: already-sorted input is returned as-is (zero copies — the path the
+// LSM and shard rebuild pipelines hit, since they feed merge-sorted runs),
+// otherwise one copy is made and sorted. Builders treat the result as
+// read-only, which is what makes the aliasing safe.
+func SortedAsc(pts []record.Point) []record.Point {
+	if sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Less(pts[j]) }) {
+		return pts
+	}
+	cp := append([]record.Point(nil), pts...)
+	SortAsc(cp)
+	return cp
+}
+
 // SortByYDesc sorts points by decreasing y, ties by ascending point order.
 func SortByYDesc(pts []record.Point) {
 	sort.Slice(pts, func(i, j int) bool {

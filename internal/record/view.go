@@ -1,0 +1,67 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Zero-copy record views: bounds-checked byte-slice accessors over encoded
+// records, used by the hot scan paths instead of decode-into-struct. A view
+// aliases the page or chain buffer it was carved from, so it is subject to
+// the same lifetime rule as every ScanChain callback slice: read it inside
+// the callback (or copy what you keep). Field accessors re-slice to the
+// exact record width, so a truncated view panics at the accessor — never a
+// silent misread of a neighbouring record.
+
+// PointView is an encoded Point viewed in place. It must be at least
+// PointSize bytes; PointViewAt constructs checked views.
+type PointView []byte
+
+// PointViewAt returns a view of the i-th record in a flattened point buffer.
+// The bounds of the whole record are validated up front.
+func PointViewAt(buf []byte, i int) PointView {
+	if i < 0 || (i+1)*PointSize > len(buf) {
+		panic(fmt.Sprintf("record: point %d out of range of %d-byte buffer", i, len(buf)))
+	}
+	return PointView(buf[i*PointSize : (i+1)*PointSize])
+}
+
+// X returns the point's x-coordinate without decoding the rest.
+func (v PointView) X() int64 { return int64(binary.LittleEndian.Uint64(v[0:8])) }
+
+// Y returns the point's y-coordinate without decoding the rest.
+func (v PointView) Y() int64 { return int64(binary.LittleEndian.Uint64(v[8:16])) }
+
+// ID returns the point's tuple identifier.
+func (v PointView) ID() uint64 { return binary.LittleEndian.Uint64(v[16:24]) }
+
+// Point materializes the view into an owned struct — the one copy a scan
+// pays, and only for records that matched.
+func (v PointView) Point() Point { return Point{X: v.X(), Y: v.Y(), ID: v.ID()} }
+
+// IntervalView is an encoded Interval viewed in place.
+type IntervalView []byte
+
+// IntervalViewAt returns a view of the i-th record in a flattened interval
+// buffer, validating the whole record's bounds up front.
+func IntervalViewAt(buf []byte, i int) IntervalView {
+	if i < 0 || (i+1)*IntervalSize > len(buf) {
+		panic(fmt.Sprintf("record: interval %d out of range of %d-byte buffer", i, len(buf)))
+	}
+	return IntervalView(buf[i*IntervalSize : (i+1)*IntervalSize])
+}
+
+// Lo returns the interval's left endpoint without decoding the rest.
+func (v IntervalView) Lo() int64 { return int64(binary.LittleEndian.Uint64(v[0:8])) }
+
+// Hi returns the interval's right endpoint without decoding the rest.
+func (v IntervalView) Hi() int64 { return int64(binary.LittleEndian.Uint64(v[8:16])) }
+
+// ID returns the interval's tuple identifier.
+func (v IntervalView) ID() uint64 { return binary.LittleEndian.Uint64(v[16:24]) }
+
+// Contains reports whether q stabs the viewed interval.
+func (v IntervalView) Contains(q int64) bool { return v.Lo() <= q && q <= v.Hi() }
+
+// Interval materializes the view into an owned struct.
+func (v IntervalView) Interval() Interval { return Interval{Lo: v.Lo(), Hi: v.Hi(), ID: v.ID()} }

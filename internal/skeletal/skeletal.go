@@ -8,13 +8,21 @@
 // trees, interval tree) stores its binary tree through this package. Each
 // binary node carries a caller-defined fixed-width payload: page references
 // to cover-lists, top-B point blocks, caches, and so on.
+//
+// Pages support two intra-page placement schemes, selected at build time and
+// stamped into every page header and the reopen metadata (disk.Layout):
+// LayoutSorted packs the subtree's nodes contiguously in BFS order, while
+// LayoutEytzinger places each node at its implicit heap slot (root at 0,
+// children of slot i at 2i+1 and 2i+2), so the top of every subtree shares
+// cache lines across probes. Both layouts use the same subtree height and
+// the same page allocation order, so the page-level shape of the tree — and
+// therefore every descent's I/O count — is identical across layouts.
 package skeletal
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/bits"
 
 	"pathcache/internal/disk"
 )
@@ -46,7 +54,8 @@ func (r NodeRef) Valid() bool { return r.Page != disk.InvalidPage }
 func (r NodeRef) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Idx) }
 
 // Node is a decoded node. Payload aliases the page buffer of the View it was
-// read from; callers that retain it across page loads must copy it.
+// read from; Views are immutable once loaded, so the alias stays valid for
+// as long as the View (or a Walker holding it) is reachable.
 type Node struct {
 	Ref     NodeRef
 	Key     int64
@@ -62,16 +71,42 @@ func (n Node) IsLeaf() bool { return !n.Left.Valid() && !n.Right.Valid() }
 // right page(8) + right idx(2).
 const entryOverhead = 28
 
-// Page header: node count.
-const pageHeader = 2
+// Page header: node count (uint16) + layout byte. An occupancy bitmap of
+// (pageCap+7)/8 bytes follows the header under both layouts: sorted pages
+// occupy slots 0..count-1 contiguously, Eytzinger pages occupy the heap
+// slots of the nodes present. The bitmap is authoritative — a reference to
+// an unoccupied slot is a corruption, not a decode of stale bytes (slot 0
+// would otherwise decode child page 0, a valid page ID).
+const pageHeader = 3
+
+// bitmapLen is the occupancy bitmap size for a page holding up to cap nodes.
+func bitmapLen(cap int) int { return (cap + 7) / 8 }
+
+// fitSubHeight returns the largest subtree height h such that a full binary
+// subtree of height h — header, occupancy bitmap and (2^h - 1) entries —
+// fits in pageSize, or 0 when not even a single node fits. The height is
+// layout independent by construction, which is what makes the two layouts'
+// page shapes (and I/O counts) identical.
+func fitSubHeight(pageSize, entry int) int {
+	h := 0
+	for {
+		cap := (1 << (h + 1)) - 1
+		if pageHeader+bitmapLen(cap)+cap*entry > pageSize {
+			return h
+		}
+		h++
+	}
+}
 
 // Tree is a skeletal tree persisted to a pager.
 type Tree struct {
 	pager       disk.Pager
 	payloadSize int
 	entrySize   int
-	pageCap     int // max nodes per page
+	pageCap     int // slots per page: 2^subHeight - 1
 	subHeight   int // height of the subtree packed per page
+	entryBase   int // offset of slot 0: pageHeader + bitmap
+	layout      disk.Layout
 	root        NodeRef
 	numNodes    int
 	numPages    int
@@ -79,25 +114,35 @@ type Tree struct {
 	pages       []disk.PageID
 }
 
-// Build persists the binary tree rooted at root, packing height-subHeight
-// subtrees into pages. payloadSize is the fixed width of every node payload.
+// Build persists the binary tree rooted at root under LayoutSorted, packing
+// height-subHeight subtrees into pages. payloadSize is the fixed width of
+// every node payload.
 func Build(p disk.Pager, root *BuildNode, payloadSize int) (*Tree, error) {
+	return BuildLayout(p, root, payloadSize, disk.LayoutSorted)
+}
+
+// BuildLayout is Build with an explicit intra-page layout scheme.
+func BuildLayout(p disk.Pager, root *BuildNode, payloadSize int, layout disk.Layout) (*Tree, error) {
 	if payloadSize < 0 {
 		return nil, errors.New("skeletal: negative payload size")
 	}
+	if !layout.Valid() {
+		return nil, fmt.Errorf("skeletal: unknown layout %d", layout)
+	}
 	entry := entryOverhead + payloadSize
-	cap := (p.PageSize() - pageHeader) / entry
-	if cap < 1 {
+	h := fitSubHeight(p.PageSize(), entry)
+	if h < 1 {
 		return nil, fmt.Errorf("skeletal: payload %d too large for page %d", payloadSize, p.PageSize())
 	}
-	// Largest h with 2^h - 1 <= cap: a full binary subtree of height h fits.
-	h := bits.Len(uint(cap+1)) - 1
+	cap := (1 << h) - 1
 	t := &Tree{
 		pager:       p,
 		payloadSize: payloadSize,
 		entrySize:   entry,
-		pageCap:     (1 << h) - 1,
+		pageCap:     cap,
 		subHeight:   h,
+		entryBase:   pageHeader + bitmapLen(cap),
+		layout:      layout,
 	}
 	if root == nil {
 		t.root = NilRef
@@ -125,6 +170,8 @@ func measureHeight(n *BuildNode) int {
 
 // writeSub packs the top height-subHeight levels of the subtree rooted at n
 // into one page, recursing for the frontier children, and returns n's ref.
+// The node set per page and the recursion (hence allocation) order are the
+// same under both layouts; only the slot each node lands in differs.
 func (t *Tree) writeSub(n *BuildNode) (NodeRef, error) {
 	page, err := t.pager.Alloc()
 	if err != nil {
@@ -133,25 +180,36 @@ func (t *Tree) writeSub(n *BuildNode) (NodeRef, error) {
 	t.numPages++
 	t.pages = append(t.pages, page)
 
-	// BFS-collect up to subHeight levels.
+	// BFS-collect up to subHeight levels. slot is the heap position within
+	// the page's implicit subtree; sorted pages compact to BFS order while
+	// Eytzinger pages keep the heap slot (holes stay unoccupied).
 	type qent struct {
 		n     *BuildNode
 		depth int
+		slot  int
 	}
-	var nodes []*BuildNode
+	type placed struct {
+		n   *BuildNode
+		idx int
+	}
+	var nodes []placed
 	idxOf := make(map[*BuildNode]uint16)
-	queue := []qent{{n, 0}}
+	queue := []qent{{n, 0, 0}}
 	for len(queue) > 0 {
 		e := queue[0]
 		queue = queue[1:]
-		idxOf[e.n] = uint16(len(nodes))
-		nodes = append(nodes, e.n)
+		idx := len(nodes)
+		if t.layout == disk.LayoutEytzinger {
+			idx = e.slot
+		}
+		idxOf[e.n] = uint16(idx)
+		nodes = append(nodes, placed{e.n, idx})
 		if e.depth+1 < t.subHeight {
 			if e.n.Left != nil {
-				queue = append(queue, qent{e.n.Left, e.depth + 1})
+				queue = append(queue, qent{e.n.Left, e.depth + 1, 2*e.slot + 1})
 			}
 			if e.n.Right != nil {
-				queue = append(queue, qent{e.n.Right, e.depth + 1})
+				queue = append(queue, qent{e.n.Right, e.depth + 1, 2*e.slot + 2})
 			}
 		}
 	}
@@ -171,7 +229,10 @@ func (t *Tree) writeSub(n *BuildNode) (NodeRef, error) {
 
 	buf := make([]byte, t.pager.PageSize())
 	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(nodes)))
-	for i, bn := range nodes {
+	buf[2] = byte(t.layout)
+	bitmap := buf[pageHeader:t.entryBase]
+	for _, pl := range nodes {
+		bn := pl.n
 		if len(bn.Payload) != t.payloadSize {
 			return NilRef, fmt.Errorf("skeletal: node payload %d bytes, want %d", len(bn.Payload), t.payloadSize)
 		}
@@ -183,7 +244,8 @@ func (t *Tree) writeSub(n *BuildNode) (NodeRef, error) {
 		if err != nil {
 			return NilRef, err
 		}
-		off := pageHeader + i*t.entrySize
+		bitmap[pl.idx/8] |= 1 << (pl.idx % 8)
+		off := t.entryBase + pl.idx*t.entrySize
 		binary.LittleEndian.PutUint64(buf[off:], uint64(bn.Key))
 		binary.LittleEndian.PutUint64(buf[off+8:], uint64(l.Page))
 		binary.LittleEndian.PutUint16(buf[off+16:], l.Idx)
@@ -229,6 +291,9 @@ func (t *Tree) SubHeight() int { return t.subHeight }
 // PayloadSize reports the fixed node payload width.
 func (t *Tree) PayloadSize() int { return t.payloadSize }
 
+// Layout reports the intra-page placement scheme the tree was built with.
+func (t *Tree) Layout() disk.Layout { return t.layout }
+
 // Meta is the handful of values needed to reopen a persisted skeletal tree.
 type Meta struct {
 	Root        NodeRef
@@ -237,6 +302,7 @@ type Meta struct {
 	NumNodes    int
 	NumPages    int
 	Height      int
+	Layout      disk.Layout
 }
 
 // Meta returns the tree's reopen metadata.
@@ -248,11 +314,12 @@ func (t *Tree) Meta() Meta {
 		NumNodes:    t.numNodes,
 		NumPages:    t.numPages,
 		Height:      t.height,
+		Layout:      t.layout,
 	}
 }
 
 // metaSize is the encoded size of Meta.
-const metaSize = 8 + 2 + 5*4
+const metaSize = 8 + 2 + 5*4 + 1
 
 // Append serializes the meta after buf.
 func (m Meta) Append(buf []byte) []byte {
@@ -264,6 +331,7 @@ func (m Meta) Append(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(tmp[18:], uint32(m.NumNodes))
 	binary.LittleEndian.PutUint32(tmp[22:], uint32(m.NumPages))
 	binary.LittleEndian.PutUint32(tmp[26:], uint32(m.Height))
+	tmp[30] = byte(m.Layout)
 	return append(buf, tmp[:]...)
 }
 
@@ -271,6 +339,10 @@ func (m Meta) Append(buf []byte) []byte {
 func DecodeMeta(buf []byte) (Meta, []byte, error) {
 	if len(buf) < metaSize {
 		return Meta{}, nil, errors.New("skeletal: truncated meta")
+	}
+	layout, err := disk.CheckLayout(buf[30])
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("skeletal: meta: %w", err)
 	}
 	m := Meta{
 		Root: NodeRef{
@@ -282,6 +354,7 @@ func DecodeMeta(buf []byte) (Meta, []byte, error) {
 		NumNodes:    int(int32(binary.LittleEndian.Uint32(buf[18:]))),
 		NumPages:    int(int32(binary.LittleEndian.Uint32(buf[22:]))),
 		Height:      int(int32(binary.LittleEndian.Uint32(buf[26:]))),
+		Layout:      layout,
 	}
 	return m, buf[metaSize:], nil
 }
@@ -293,16 +366,33 @@ func Reopen(p disk.Pager, m Meta) (*Tree, error) {
 	if m.PayloadSize < 0 {
 		return nil, errors.New("skeletal: negative payload size in meta")
 	}
+	if !m.Layout.Valid() {
+		return nil, fmt.Errorf("skeletal: unknown layout %d in meta", m.Layout)
+	}
 	entry := entryOverhead + m.PayloadSize
-	if (p.PageSize()-pageHeader)/entry < 1 {
+	if fitSubHeight(p.PageSize(), entry) < 1 {
 		return nil, fmt.Errorf("skeletal: payload %d too large for page %d", m.PayloadSize, p.PageSize())
 	}
+	// The sub-height bounds every slot computation (page capacity, bitmap
+	// width, entry offsets), so an out-of-range value from a corrupt meta
+	// must be rejected here, before any page is decoded against it. Build
+	// always records exactly fitSubHeight, so anything else is corruption.
+	if m.SubHeight < 1 || m.SubHeight > fitSubHeight(p.PageSize(), entry) {
+		return nil, fmt.Errorf("skeletal: sub-height %d out of range for page size %d: %w",
+			m.SubHeight, p.PageSize(), disk.ErrCorrupt)
+	}
+	if m.NumNodes < 0 || m.NumPages < 0 || m.Height < -1 {
+		return nil, fmt.Errorf("skeletal: negative counters in meta: %w", disk.ErrCorrupt)
+	}
+	cap := (1 << m.SubHeight) - 1
 	return &Tree{
 		pager:       p,
 		payloadSize: m.PayloadSize,
 		entrySize:   entry,
-		pageCap:     (1 << m.SubHeight) - 1,
+		pageCap:     cap,
 		subHeight:   m.SubHeight,
+		entryBase:   pageHeader + bitmapLen(cap),
+		layout:      m.Layout,
 		root:        m.Root,
 		numNodes:    m.NumNodes,
 		numPages:    m.NumPages,
@@ -325,7 +415,9 @@ func (t *Tree) Free() error {
 }
 
 // View is one page read into memory. Navigating nodes inside a View is free;
-// only loading the View costs an I/O.
+// only loading the View costs an I/O. The buffer is private to the View and
+// immutable after the load, so decoded payload aliases survive pool eviction
+// of the underlying page.
 type View struct {
 	t    *Tree
 	page disk.PageID
@@ -344,13 +436,25 @@ func (t *Tree) LoadPage(id disk.PageID) (*View, error) {
 // Page reports which page this view holds.
 func (v *View) Page() disk.PageID { return v.page }
 
-// Node decodes the node at idx. The payload aliases the view's buffer.
+// Node decodes the node at idx. The payload aliases the view's buffer. The
+// header is validated before any slot bytes are trusted: a bad layout byte,
+// an impossible count or a reference into an unoccupied slot all fail with
+// an error wrapping disk.ErrCorrupt.
 func (v *View) Node(idx uint16) (Node, error) {
 	n := int(binary.LittleEndian.Uint16(v.buf[0:2]))
-	if int(idx) >= n {
-		return Node{}, fmt.Errorf("skeletal: node %d out of range (page %d has %d)", idx, v.page, n)
+	if n > v.t.pageCap {
+		return Node{}, fmt.Errorf("skeletal: page %d count %d exceeds capacity %d: %w", v.page, n, v.t.pageCap, disk.ErrCorrupt)
 	}
-	off := pageHeader + int(idx)*v.t.entrySize
+	if _, err := disk.CheckLayout(v.buf[2]); err != nil {
+		return Node{}, fmt.Errorf("skeletal: page %d: %w", v.page, err)
+	}
+	if int(idx) >= v.t.pageCap {
+		return Node{}, fmt.Errorf("skeletal: node %d out of range (page %d holds %d slots): %w", idx, v.page, v.t.pageCap, disk.ErrCorrupt)
+	}
+	if v.buf[pageHeader+int(idx)/8]&(1<<(idx%8)) == 0 {
+		return Node{}, fmt.Errorf("skeletal: node %d of page %d is unoccupied: %w", idx, v.page, disk.ErrCorrupt)
+	}
+	off := v.t.entryBase + int(idx)*v.t.entrySize
 	return Node{
 		Ref: NodeRef{Page: v.page, Idx: idx},
 		Key: int64(binary.LittleEndian.Uint64(v.buf[off:])),
@@ -366,6 +470,13 @@ func (v *View) Node(idx uint16) (Node, error) {
 	}, nil
 }
 
+// pagePrefetcher is the optional extension a pager can implement to accept
+// prefetch hints (engine's prefetch-enabled op pagers do). Hints are
+// background pool fills: they never touch the issuing operation's counters.
+type pagePrefetcher interface {
+	Prefetch(disk.PageID)
+}
+
 // Walker navigates the tree during one logical operation (one query), caching
 // every page it has loaded so far. This models the standard working-memory
 // assumption of the I/O model: a query holds the O(log_B n) pages of its
@@ -374,15 +485,21 @@ func (v *View) Node(idx uint16) (Node, error) {
 type Walker struct {
 	t     *Tree
 	views map[disk.PageID]*View
+	pf    pagePrefetcher
 }
 
 // NewWalker starts a fresh walker with an empty page cache.
 func (t *Tree) NewWalker() *Walker {
-	return &Walker{t: t, views: make(map[disk.PageID]*View, 8)}
+	w := &Walker{t: t, views: make(map[disk.PageID]*View, 8)}
+	w.pf, _ = t.pager.(pagePrefetcher)
+	return w
 }
 
 // Node loads the node addressed by ref, reading its page only if this walker
-// has not seen it yet.
+// has not seen it yet. When the pager accepts prefetch hints, the node's
+// external children are enqueued as soon as the node is decoded, so the pool
+// warms the next level of the path while the caller is still deciding which
+// way to descend.
 func (w *Walker) Node(ref NodeRef) (Node, error) {
 	if !ref.Valid() {
 		return Node{}, errors.New("skeletal: walk to nil reference")
@@ -396,7 +513,19 @@ func (w *Walker) Node(ref NodeRef) (Node, error) {
 		}
 		w.views[ref.Page] = v
 	}
-	return v.Node(ref.Idx)
+	n, err := v.Node(ref.Idx)
+	if err != nil {
+		return Node{}, err
+	}
+	if w.pf != nil {
+		if n.Left.Valid() && n.Left.Page != ref.Page {
+			w.pf.Prefetch(n.Left.Page)
+		}
+		if n.Right.Valid() && n.Right.Page != ref.Page {
+			w.pf.Prefetch(n.Right.Page)
+		}
+	}
+	return n, nil
 }
 
 // PagesLoaded reports how many distinct pages the walker has read.
@@ -413,10 +542,11 @@ const (
 )
 
 // Descend walks from the root, calling choose at each node to pick a
-// direction, and returns the visited path (payloads copied, safe to retain).
-// The walk stops when choose returns Stop, or when the chosen child is
-// absent. The I/O cost is one read per distinct page on the path:
-// O(log_B n).
+// direction, and returns the visited path. Payloads alias the walker's page
+// views — zero copies per node; the views stay reachable through the
+// returned nodes, so the aliases are safe to retain. The walk stops when
+// choose returns Stop, or when the chosen child is absent. The I/O cost is
+// one read per distinct page on the path: O(log_B n).
 func (t *Tree) Descend(choose func(n Node) Dir) ([]Node, error) {
 	if !t.root.Valid() {
 		return nil, nil
@@ -434,10 +564,8 @@ func (w *Walker) Descend(ref NodeRef, choose func(n Node) Dir) ([]Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		cp := n
-		cp.Payload = append([]byte(nil), n.Payload...)
-		path = append(path, cp)
-		switch choose(cp) {
+		path = append(path, n)
+		switch choose(n) {
 		case Left:
 			ref = n.Left
 		case Right:

@@ -75,6 +75,9 @@ func (si *StabbingIndex) Len() int { return si.ix.Len() }
 // Kind reports the index's registry name.
 func (si *StabbingIndex) Kind() string { return si.ix.Kind() }
 
+// Layout reports the in-page layout of the underlying 2-sided engine.
+func (si *StabbingIndex) Layout() Layout { return si.ix.Layout() }
+
 // Pages reports the storage footprint in pages.
 func (si *StabbingIndex) Pages() int { return si.ix.Pages() }
 
@@ -147,7 +150,7 @@ func NewSegmentIndex(ivs []Interval, cached bool, opts *Options) (*SegmentIndex,
 	if cached {
 		v = extseg.PathCached
 	}
-	idx, err := extseg.Build(c.be.Pager(), toRecIntervals(ivs), v)
+	idx, err := extseg.BuildLayout(c.be.Pager(), toRecIntervals(ivs), v, c.layout)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
@@ -190,6 +193,9 @@ func (ix *SegmentIndex) Len() int { return ix.idx.Len() }
 // Kind reports the index's registry name.
 func (ix *SegmentIndex) Kind() string { return engine.KindName(kindSegment) }
 
+// Layout reports the in-page layout of the persisted structure.
+func (ix *SegmentIndex) Layout() Layout { return Layout(ix.idx.Layout()) }
+
 // Pages reports the storage footprint in pages.
 func (ix *SegmentIndex) Pages() int { return ix.idx.TotalPages() }
 
@@ -211,7 +217,7 @@ func NewIntervalIndex(ivs []Interval, cached bool, opts *Options) (*IntervalInde
 	if cached {
 		v = extint.PathCached
 	}
-	idx, err := extint.Build(c.be.Pager(), toRecIntervals(ivs), v)
+	idx, err := extint.BuildLayout(c.be.Pager(), toRecIntervals(ivs), v, c.layout)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
@@ -253,6 +259,9 @@ func (ix *IntervalIndex) Len() int { return ix.idx.Len() }
 
 // Kind reports the index's registry name.
 func (ix *IntervalIndex) Kind() string { return engine.KindName(kindInterval) }
+
+// Layout reports the in-page layout of the persisted structure.
+func (ix *IntervalIndex) Layout() Layout { return Layout(ix.idx.Layout()) }
 
 // Pages reports the storage footprint in pages.
 func (ix *IntervalIndex) Pages() int { return ix.idx.TotalPages() }

@@ -86,11 +86,12 @@ func lsmBaseFor(name string) (lsm.Base, error) {
 // lsmConfig wires a tree to a backend: all I/O through the backend's pager,
 // WAL durability through its sync barrier, manifest commits through the
 // metadata-page flip.
-func lsmConfig(be *engine.Backend, base lsm.Base, flushEvery int) lsm.Config {
+func lsmConfig(be *engine.Backend, base lsm.Base, flushEvery int, layout disk.Layout) lsm.Config {
 	return lsm.Config{
 		Pager:      be.Pager(),
 		Base:       base,
 		FlushEvery: flushEvery,
+		Layout:     layout,
 		Sync:       be.Sync,
 		Commit: func(blob []byte) error {
 			return be.ReplaceMeta(kindLSM, blob)
@@ -116,7 +117,7 @@ func BuildDynamic(base string, pts []Point, opts *Options) (*LSMIndex, error) {
 	if opts != nil {
 		flushEvery = opts.MemtableEntries
 	}
-	tr, err := lsm.New(lsmConfig(c.be, b, flushEvery))
+	tr, err := lsm.New(lsmConfig(c.be, b, flushEvery, c.layout))
 	if err != nil {
 		c.be.Close()
 		return nil, fmt.Errorf("pathcache: %w", err)
@@ -157,7 +158,7 @@ func openLSM(be *engine.Backend, blob []byte) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
-	tr, err := lsm.Open(lsmConfig(be, base, 0), blob)
+	tr, err := lsm.Open(lsmConfig(be, base, 0, disk.LayoutSorted), blob)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}

@@ -23,7 +23,7 @@ func NewThreeSidedIndex(pts []Point, opts *Options) (*ThreeSidedIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, err := ext3side.Build(c.be.Pager(), toRecPoints(pts))
+	idx, err := ext3side.BuildLayout(c.be.Pager(), toRecPoints(pts), c.layout)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
@@ -65,6 +65,9 @@ func (ix *ThreeSidedIndex) Len() int { return ix.idx.Len() }
 
 // Kind reports the index's registry name.
 func (ix *ThreeSidedIndex) Kind() string { return engine.KindName(kindThreeSide) }
+
+// Layout reports the in-page layout of the persisted structure.
+func (ix *ThreeSidedIndex) Layout() Layout { return Layout(ix.idx.Layout()) }
 
 // Pages reports the storage footprint in pages.
 func (ix *ThreeSidedIndex) Pages() int { return ix.idx.TotalPages() }

@@ -3,6 +3,7 @@ package pathcache
 import (
 	"fmt"
 
+	"pathcache/internal/disk"
 	"pathcache/internal/engine"
 	"pathcache/internal/extpst"
 )
@@ -86,7 +87,7 @@ func newTwoSidedIndex(pts []Point, scheme Scheme, opts *Options, kind byte) (*Tw
 		default:
 			sc = extpst.Segmented
 		}
-		idx, err = extpst.Build(c.be.Pager(), rec, sc)
+		idx, err = extpst.BuildLayout(c.be.Pager(), rec, sc, c.layout)
 	case SchemeTwoLevel:
 		idx, err = extpst.BuildTwoLevel(c.be.Pager(), rec)
 	case SchemeMultilevel:
@@ -146,6 +147,16 @@ func (ix *TwoSidedIndex) Len() int { return ix.idx.Len() }
 
 // Scheme reports which construction the index uses.
 func (ix *TwoSidedIndex) Scheme() Scheme { return ix.scheme }
+
+// Layout reports the in-page layout of the persisted structure. The
+// recursive schemes (two-level, multilevel) keep in-memory tables over
+// sorted pages and always report LayoutSorted.
+func (ix *TwoSidedIndex) Layout() Layout {
+	if l, ok := ix.idx.(interface{ Layout() disk.Layout }); ok {
+		return Layout(l.Layout())
+	}
+	return LayoutSorted
+}
 
 // Kind reports the index's registry name.
 func (ix *TwoSidedIndex) Kind() string { return engine.KindName(ix.kind) }

@@ -26,7 +26,7 @@ func NewWindowIndex(pts []Point, opts *Options) (*WindowIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, err := extwindow.Build(c.be.Pager(), toRecPoints(pts))
+	idx, err := extwindow.BuildLayout(c.be.Pager(), toRecPoints(pts), c.layout)
 	if err != nil {
 		return nil, fmt.Errorf("pathcache: %w", err)
 	}
@@ -68,6 +68,9 @@ func (ix *WindowIndex) Len() int { return ix.idx.Len() }
 
 // Kind reports the index's registry name.
 func (ix *WindowIndex) Kind() string { return engine.KindName(kindWindow) }
+
+// Layout reports the in-page layout of the persisted structure.
+func (ix *WindowIndex) Layout() Layout { return Layout(ix.idx.Layout()) }
 
 // Pages reports the storage footprint in pages.
 func (ix *WindowIndex) Pages() int { return ix.idx.TotalPages() }
